@@ -1,0 +1,74 @@
+//! Criterion benches over the full middleware pipeline: how much host CPU
+//! one simulated scenario costs. These guard the harness itself — the
+//! figure binaries stay instant-fast only while a full upload+invoke
+//! simulation stays in the low milliseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use onserve::deployment::DeploymentSpec;
+use onserve::profile::ExecutionProfile;
+use onserve_bench::{Runner, KB};
+use simkit::Duration;
+
+fn bench_publish(c: &mut Criterion) {
+    c.bench_function("pipeline/upload_publish_256k", |b| {
+        b.iter(|| {
+            let mut r = Runner::new(1, &DeploymentSpec::default());
+            r.publish("bench.exe", 256 * 1024, ExecutionProfile::quick(), &[])
+        })
+    });
+}
+
+fn bench_full_invocation(c: &mut Criterion) {
+    c.bench_function("pipeline/invoke_small_job", |b| {
+        b.iter(|| {
+            let mut r = Runner::new(2, &DeploymentSpec::default());
+            r.publish(
+                "bench.exe",
+                64 * 1024,
+                ExecutionProfile::quick()
+                    .lasting(Duration::from_secs(30))
+                    .producing(16.0 * KB),
+                &[],
+            );
+            let (res, at) = r.invoke_blocking("bench", &[]);
+            res.expect("invoke");
+            at
+        })
+    });
+}
+
+fn bench_sweep_batch(c: &mut Criterion) {
+    c.bench_function("pipeline/24_concurrent_invocations", |b| {
+        b.iter(|| {
+            let mut r = Runner::new(3, &DeploymentSpec::default());
+            r.publish(
+                "bench.exe",
+                64 * 1024,
+                ExecutionProfile::quick()
+                    .lasting(Duration::from_secs(120))
+                    .producing(16.0 * KB),
+                &[],
+            );
+            use std::cell::Cell;
+            use std::rc::Rc;
+            let done = Rc::new(Cell::new(0u32));
+            for _ in 0..24 {
+                let d2 = done.clone();
+                r.d.invoke(&mut r.sim, "bench", &[], move |_, res| {
+                    res.expect("invoke");
+                    d2.set(d2.get() + 1);
+                });
+            }
+            r.sim.run();
+            assert_eq!(done.get(), 24);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_publish, bench_full_invocation, bench_sweep_batch
+}
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Criterion micro-benchmarks for the substrate crates: the engineering
+//! baselines behind the figure harness (XML, SOAP sizes, the blob codec,
+//! RSL, UDDI, the batch scheduler, proxy validation, raw event churn).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use blobstore::{compress, decompress};
+use gridsim::scheduler::{ClusterScheduler, SchedPolicy, SchedRequest};
+use gridsim::{CertAuthority, JobDescription};
+use simkit::{Duration, Rng, Sim, SimTime};
+use wsstack::uddi::BindingTemplate;
+use wsstack::{SoapValue, UddiRegistry, XmlNode};
+
+fn bench_xml(c: &mut Criterion) {
+    let doc = {
+        let mut root = XmlNode::new("soap:Envelope").attr("xmlns:soap", "http://x");
+        let mut body = XmlNode::new("soap:Body");
+        for i in 0..50 {
+            body.children.push(
+                XmlNode::text_node(&format!("arg{i}"), &format!("value-{i} & more"))
+                    .attr("xsi:type", "xsd:string"),
+            );
+        }
+        root.children.push(body);
+        root
+    };
+    let text = doc.to_xml();
+    let mut g = c.benchmark_group("xml");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("serialize_50_args", |b| b.iter(|| black_box(&doc).to_xml()));
+    g.bench_function("parse_50_args", |b| {
+        b.iter(|| XmlNode::parse(black_box(&text)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut rng = Rng::new(42);
+    let mut data = Vec::with_capacity(1 << 20);
+    while data.len() < 1 << 20 {
+        // mixed structured payload
+        data.extend_from_slice(format!("record:{:08x};", rng.next_u64()).as_bytes());
+        if rng.chance(0.3) {
+            data.extend_from_slice(&[0u8; 64]);
+        }
+    }
+    let compressed = compress(&data);
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress_1mib", |b| b.iter(|| compress(black_box(&data))));
+    g.bench_function("decompress_1mib", |b| {
+        b.iter(|| decompress(black_box(&compressed)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_rsl(c: &mut Criterion) {
+    let jd = JobDescription::new("/apps/solver")
+        .args(["--alpha", "0.5", "--mesh", "big mesh file"])
+        .cores(16)
+        .walltime(Duration::from_secs(7200))
+        .on_queue("normal")
+        .capture_stdout("out.txt");
+    let text = jd.to_rsl();
+    let mut g = c.benchmark_group("rsl");
+    g.bench_function("serialize", |b| b.iter(|| black_box(&jd).to_rsl()));
+    g.bench_function("parse", |b| {
+        b.iter(|| JobDescription::parse(black_box(&text)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_uddi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uddi");
+    g.bench_function("publish_1000", |b| {
+        b.iter(|| {
+            let mut reg = UddiRegistry::new();
+            for i in 0..1000 {
+                reg.publish(
+                    "onserve",
+                    &format!("service-{i}"),
+                    "d",
+                    BindingTemplate {
+                        access_point: format!("http://a/{i}"),
+                        wsdl_location: format!("http://a/{i}?wsdl"),
+                    },
+                )
+                .unwrap();
+            }
+            reg.len()
+        })
+    });
+    let mut reg = UddiRegistry::new();
+    for i in 0..1000 {
+        reg.publish(
+            "onserve",
+            &format!("service-{i}"),
+            "d",
+            BindingTemplate {
+                access_point: format!("http://a/{i}"),
+                wsdl_location: String::new(),
+            },
+        )
+        .unwrap();
+    }
+    g.bench_function("wildcard_find_in_1000", |b| {
+        b.iter(|| reg.find(black_box("%service-5%")).len())
+    });
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    for policy in [SchedPolicy::Fcfs, SchedPolicy::Backfill] {
+        g.bench_function(format!("churn_1000_jobs_{policy:?}"), |b| {
+            b.iter(|| {
+                let mut sim = Sim::new(1);
+                let sched = ClusterScheduler::new("b", 16, 8, policy);
+                for i in 0..1000u64 {
+                    let cores = 1 + (i % 16) as u32;
+                    let sc = sched.clone();
+                    sim.schedule(Duration::from_secs(i / 4), move |sim| {
+                        ClusterScheduler::submit(
+                            &sc,
+                            sim,
+                            SchedRequest {
+                                cores,
+                                walltime_limit: Duration::from_secs(500),
+                                actual_runtime: Duration::from_secs(60 + cores as u64),
+                            },
+                            |_, _| {},
+                        );
+                    });
+                }
+                sim.run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_security(c: &mut Criterion) {
+    let mut ca = CertAuthority::new("/CN=CA", 7);
+    let cred = ca.issue("/CN=user", SimTime::ZERO, Duration::from_secs(86400));
+    let deep = cred
+        .delegate(SimTime::ZERO, Duration::from_secs(3600))
+        .delegate(SimTime::ZERO, Duration::from_secs(3600))
+        .delegate(SimTime::ZERO, Duration::from_secs(3600));
+    let proxy = deep.proxy();
+    c.bench_function("security/validate_depth3_chain", |b| {
+        b.iter(|| {
+            black_box(&proxy)
+                .validate(&ca, SimTime::from_secs(60), 8)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/schedule_run_100k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(3);
+            for i in 0..100_000u64 {
+                sim.schedule(Duration::from_micros(i % 977), |_| {});
+            }
+            sim.run()
+        })
+    });
+}
+
+fn bench_soap(c: &mut Criterion) {
+    let env = wsstack::soap::Envelope::request("Solver", "execute")
+        .arg("a", SoapValue::Int(1))
+        .arg("b", SoapValue::Str("text".into()))
+        .arg(
+            "data",
+            SoapValue::Binary {
+                bytes: 1024.0,
+                digest: 7,
+            },
+        );
+    c.bench_function("soap/envelope_roundtrip", |b| {
+        b.iter(|| {
+            let doc = black_box(&env).to_xml();
+            wsstack::soap::Envelope::parse(&doc).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_xml,
+    bench_codec,
+    bench_rsl,
+    bench_uddi,
+    bench_scheduler,
+    bench_security,
+    bench_engine,
+    bench_soap
+);
+criterion_main!(benches);

@@ -1,0 +1,267 @@
+//! Ablation suite for the design choices DESIGN.md flags (◆): each run
+//! toggles exactly one decision against the paper's build and reports the
+//! delta.
+//!
+//! 1. double-write vs direct storage (§VIII-D3's "may be improved");
+//! 2. re-stage every invocation vs reuse staged files (§VIII-B's "an
+//!    upload strategy that avoids frequent uploads of the same file may
+//!    finally result in a better overall performance");
+//! 3. per-invocation credential exchange vs cached sessions (the Figure 6
+//!    traffic observation);
+//! 4. tentative output-poll interval sweep (the workaround's cost knob);
+//! 5. FCFS vs EASY backfill under background load (queue-wait term of the
+//!    overhead claim).
+//!
+//! Run with: `cargo run -p onserve-bench --bin ablations`
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use blobstore::WriteStrategy;
+use gridsim::BackgroundLoad;
+use gridsim::scheduler::SchedPolicy;
+use onserve::deployment::DeploymentSpec;
+use onserve::profile::ExecutionProfile;
+use onserve::OnServeConfig;
+use onserve_bench::{Runner, KB};
+use simkit::report::TextTable;
+use simkit::{Duration, Sim, SimTime, MB};
+
+fn invoke_n(r: &mut Runner, service: &str, n: u32) -> f64 {
+    let t0 = r.sim.now();
+    let done = Rc::new(Cell::new(0u32));
+    for _ in 0..n {
+        let c = done.clone();
+        r.d.invoke(&mut r.sim, service, &[], move |_, res| {
+            res.expect("invoke");
+            c.set(c.get() + 1);
+        });
+    }
+    r.sim.run();
+    assert_eq!(done.get(), n);
+    (r.sim.now() - t0).as_secs_f64()
+}
+
+fn main() {
+    // ---- 1. storage strategy --------------------------------------------
+    println!("==== ablation 1: storage write strategy (10 x 5 MB uploads) ====\n");
+    let mut t = TextTable::new(vec!["strategy", "makespan", "disk written"]);
+    for (label, strategy) in [
+        ("double-write (paper)", WriteStrategy::DoubleWrite),
+        ("direct", WriteStrategy::Direct),
+    ] {
+        let spec = DeploymentSpec {
+            config: OnServeConfig {
+                write_strategy: strategy,
+                ..OnServeConfig::default()
+            },
+            ..DeploymentSpec::default()
+        };
+        let mut r = Runner::new(700, &spec);
+        let t0 = r.sim.now();
+        let done = Rc::new(Cell::new(0u32));
+        for i in 0..10 {
+            let req = r.d.upload_request(
+                &format!("a{i}.exe"),
+                5 * 1024 * 1024,
+                ExecutionProfile::quick(),
+                &[],
+            );
+            let c = done.clone();
+            r.d.portal.upload(&mut r.sim, req, move |_, res| {
+                res.expect("publish");
+                c.set(c.get() + 1);
+            });
+        }
+        r.sim.run();
+        t.row(vec![
+            label.to_string(),
+            format!("{:.1} s", (r.sim.now() - t0).as_secs_f64()),
+            format!(
+                "{:.0} MB",
+                r.sim.recorder_ref().total("appliance.disk.write.bytes") / MB
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ---- 2. staging reuse ------------------------------------------------
+    println!("==== ablation 2: re-stage vs reuse (5 invocations of a 2 MB tool) ====\n");
+    let mut t = TextTable::new(vec!["staging", "makespan", "bytes to grid"]);
+    for (label, reuse) in [("re-upload every run (paper)", false), ("reuse staged file", true)] {
+        let spec = DeploymentSpec {
+            config: OnServeConfig {
+                reuse_staged_files: reuse,
+                broker: gridsim::BrokerPolicy::Fixed("ncsa".into()),
+                ..OnServeConfig::default()
+            },
+            ..DeploymentSpec::default()
+        };
+        let mut r = Runner::new(701, &spec);
+        r.publish(
+            "tool.exe",
+            2 * 1024 * 1024,
+            ExecutionProfile::quick()
+                .lasting(Duration::from_secs(30))
+                .producing(4.0 * KB),
+            &[],
+        );
+        let grid_in_before = r.sim.recorder_ref().total("ncsa.net.in.bytes");
+        let mut makespan = 0.0;
+        for _ in 0..5 {
+            makespan += invoke_n(&mut r, "tool", 1);
+        }
+        let grid_in = r.sim.recorder_ref().total("ncsa.net.in.bytes") - grid_in_before;
+        t.row(vec![
+            label.to_string(),
+            format!("{makespan:.0} s"),
+            format!("{:.1} MB", grid_in / MB),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ---- 3. session caching ----------------------------------------------
+    println!("==== ablation 3: credential exchange per invocation vs cached sessions ====\n");
+    let mut t = TextTable::new(vec!["sessions", "10-run makespan", "MyProxy traffic"]);
+    for (label, cache) in [("authenticate every run (paper)", false), ("cached session", true)] {
+        let spec = DeploymentSpec {
+            config: OnServeConfig {
+                cache_grid_sessions: cache,
+                ..OnServeConfig::default()
+            },
+            ..DeploymentSpec::default()
+        };
+        let mut r = Runner::new(702, &spec);
+        r.publish(
+            "s.exe",
+            8 * 1024,
+            ExecutionProfile::quick()
+                .lasting(Duration::from_secs(15))
+                .producing(2.0 * KB),
+            &[],
+        );
+        // sequential runs: concurrent first-invocations would all miss the
+        // cache at once
+        let mut makespan = 0.0;
+        for _ in 0..10 {
+            makespan += invoke_n(&mut r, "s", 1);
+        }
+        let mp = r.sim.recorder_ref().total("mp.fwd.bytes")
+            + r.sim.recorder_ref().total("mp.rev.bytes");
+        t.row(vec![
+            label.to_string(),
+            format!("{makespan:.0} s"),
+            format!("{:.0} KB", mp / KB),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ---- 4. poll interval -------------------------------------------------
+    println!("==== ablation 4: tentative output-poll interval (60 s job, 64 KB output) ====\n");
+    let mut t = TextTable::new(vec![
+        "interval",
+        "latency",
+        "polls",
+        "bytes re-fetched",
+    ]);
+    for secs in [3u64, 9, 30, 90] {
+        let spec = DeploymentSpec {
+            config: OnServeConfig {
+                poll_interval: Duration::from_secs(secs),
+                ..OnServeConfig::default()
+            },
+            ..DeploymentSpec::default()
+        };
+        let mut r = Runner::new(703, &spec);
+        r.publish(
+            "p.exe",
+            8 * 1024,
+            ExecutionProfile::quick()
+                .lasting(Duration::from_secs(60))
+                .producing(64.0 * KB),
+            &[],
+        );
+        let polls_before = r.d.agent.polls_issued();
+        let wan_before = {
+            let rec = r.sim.recorder_ref();
+            r.d.grid
+                .sites()
+                .iter()
+                .map(|s| rec.total(&format!("wan.{}.down.bytes", s.name())))
+                .sum::<f64>()
+        };
+        let latency = invoke_n(&mut r, "p", 1);
+        let rec = r.sim.recorder_ref();
+        let refetched: f64 = r
+            .d
+            .grid
+            .sites()
+            .iter()
+            .map(|s| rec.total(&format!("wan.{}.down.bytes", s.name())))
+            .sum::<f64>()
+            - wan_before;
+        t.row(vec![
+            format!("{secs} s"),
+            format!("{latency:.0} s"),
+            format!("{}", r.d.agent.polls_issued() - polls_before),
+            format!("{:.0} KB", refetched / KB),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "short intervals cut completion latency but multiply the re-fetch\n\
+         traffic (\"requests the application's output more often than\n\
+         necessary which may reduce the network performance even more\").\n"
+    );
+
+    // ---- 5. batch policy under background load ----------------------------
+    println!("==== ablation 5: FCFS vs EASY backfill under heavy background load ====\n");
+    let mut t = TextTable::new(vec!["policy", "mean queue+run latency (8 x 1-core jobs)"]);
+    for policy in [SchedPolicy::Fcfs, SchedPolicy::Backfill] {
+        let mut sim = Sim::new(704);
+        // a standalone site carrying the policy under test, kept busy by a
+        // background stream, probed with onServe-shaped (small, short) jobs
+        let standalone = gridsim::GridSite::new(
+            gridsim::SiteSpec {
+                policy,
+                ..gridsim::SiteSpec::teragrid_like("abl", 4, 8)
+            },
+            "appliance",
+            Rc::new(std::cell::RefCell::new(gridsim::CertAuthority::new("/CN=CA", 1))),
+        );
+        BackgroundLoad {
+            mean_interarrival: Duration::from_secs(30),
+            ..BackgroundLoad::moderate(SimTime::from_secs(4 * 3600))
+        }
+        .start(&mut sim, &standalone);
+        sim.run_until(SimTime::from_secs(1800)); // warm the queue
+        let mut latencies = Vec::new();
+        for _ in 0..8 {
+            let finished = Rc::new(Cell::new(-1.0));
+            let f2 = finished.clone();
+            let submit_at = sim.now();
+            gridsim::ClusterScheduler::submit(
+                standalone.scheduler(),
+                &mut sim,
+                gridsim::scheduler::SchedRequest {
+                    cores: 1,
+                    walltime_limit: Duration::from_secs(600),
+                    actual_runtime: Duration::from_secs(120),
+                },
+                move |sim, _| f2.set(sim.now().as_secs_f64()),
+            );
+            let deadline = sim.now() + Duration::from_secs(3600);
+            sim.run_until(deadline);
+            if finished.get() > 0.0 {
+                latencies.push(finished.get() - submit_at.as_secs_f64());
+            }
+        }
+        let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+        t.row(vec![format!("{policy:?}"), format!("{mean:.0} s")]);
+    }
+    println!("{}", t.render());
+    println!(
+        "backfill slips the onServe jobs (small, short) into scheduling\n\
+         holes, cutting the queue-wait term of the §VIII-B overhead claim."
+    );
+}

@@ -1,0 +1,159 @@
+//! Experiment D-2 — the §VIII-D2 network-connection discussion.
+//!
+//! "A system that only possesses a slow network connection will naturally
+//! treat requests much slower ... In a stress-test-scenario, when multiple
+//! up- and downloads from and to the system have to be performed, a poor
+//! network connection might become a bottleneck slowing down the treatment
+//! of the requests."
+//!
+//! Sweep link bandwidth for both basic use cases: the portal
+//! upload+generate scenario (client LAN) and the service-use scenario
+//! (appliance→Grid WAN), single request and stressed (8 concurrent).
+//!
+//! Run with: `cargo run -p onserve-bench --bin netsweep`
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use onserve::deployment::DeploymentSpec;
+use onserve::profile::ExecutionProfile;
+use onserve_bench::{Runner, KB};
+use parking_lot::Mutex;
+use simkit::report::TextTable;
+use simkit::{Duration, GBIT_PER_S, MB};
+
+fn upload_scenario(lan_bw: f64, concurrent: u32, seed: u64) -> f64 {
+    let spec = DeploymentSpec {
+        lan_bandwidth: lan_bw,
+        ..DeploymentSpec::default()
+    };
+    let mut r = Runner::new(seed, &spec);
+    let t0 = r.sim.now();
+    let done = Rc::new(Cell::new(0u32));
+    for i in 0..concurrent {
+        let req = r.d.upload_request(
+            &format!("n{i}.exe"),
+            5 * 1024 * 1024,
+            ExecutionProfile::quick(),
+            &[],
+        );
+        let c = done.clone();
+        r.d.portal.upload(&mut r.sim, req, move |_, res| {
+            res.expect("publish");
+            c.set(c.get() + 1);
+        });
+    }
+    r.sim.run();
+    assert_eq!(done.get(), concurrent);
+    (r.sim.now() - t0).as_secs_f64()
+}
+
+fn service_use_scenario(wan_bw: f64, concurrent: u32, seed: u64) -> f64 {
+    let spec = DeploymentSpec {
+        wan_bandwidth_override: Some(wan_bw),
+        config: onserve::OnServeConfig {
+            broker: gridsim::BrokerPolicy::Fixed("ncsa".into()),
+            ..onserve::OnServeConfig::default()
+        },
+        ..DeploymentSpec::default()
+    };
+    let mut r = Runner::new(seed, &spec);
+    r.publish(
+        "sweep.exe",
+        2 * 1024 * 1024,
+        ExecutionProfile::quick()
+            .lasting(Duration::from_secs(30))
+            .producing(64.0 * KB),
+        &[],
+    );
+    let t0 = r.sim.now();
+    let done = Rc::new(Cell::new(0u32));
+    for _ in 0..concurrent {
+        let c = done.clone();
+        r.d.invoke(&mut r.sim, "sweep", &[], move |_, res| {
+            res.expect("invoke");
+            c.set(c.get() + 1);
+        });
+    }
+    r.sim.run();
+    assert_eq!(done.get(), concurrent);
+    (r.sim.now() - t0).as_secs_f64()
+}
+
+struct Row {
+    label: String,
+    bw: f64,
+    single: f64,
+    stressed: f64,
+}
+
+fn main() {
+    let lan_points: Vec<(&str, f64)> = vec![
+        ("10 Mbit/s", 10.0e6 / 8.0),
+        ("100 Mbit/s", 100.0e6 / 8.0),
+        ("1000 Mbit/s (paper)", GBIT_PER_S),
+    ];
+    let wan_points: Vec<(&str, f64)> = vec![
+        ("32 KB/s", 32.0 * KB),
+        ("85 KB/s (paper)", 85.0 * KB),
+        ("256 KB/s", 256.0 * KB),
+        ("1 MB/s", 1.0 * MB),
+        ("10 MB/s", 10.0 * MB),
+    ];
+
+    let lan_rows: Mutex<Vec<Row>> = Mutex::new(Vec::new());
+    let wan_rows: Mutex<Vec<Row>> = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for (i, &(label, bw)) in lan_points.iter().enumerate() {
+            let lan_rows = &lan_rows;
+            scope.spawn(move |_| {
+                lan_rows.lock().push(Row {
+                    label: label.to_owned(),
+                    bw,
+                    single: upload_scenario(bw, 1, 300 + i as u64),
+                    stressed: upload_scenario(bw, 8, 310 + i as u64),
+                });
+            });
+        }
+        for (i, &(label, bw)) in wan_points.iter().enumerate() {
+            let wan_rows = &wan_rows;
+            scope.spawn(move |_| {
+                wan_rows.lock().push(Row {
+                    label: label.to_owned(),
+                    bw,
+                    single: service_use_scenario(bw, 1, 320 + i as u64),
+                    stressed: service_use_scenario(bw, 8, 330 + i as u64),
+                });
+            });
+        }
+    })
+    .expect("sweep threads");
+
+    let render = |title: &str, mut rows: Vec<Row>| {
+        rows.sort_by(|a, b| a.bw.partial_cmp(&b.bw).unwrap());
+        println!("==== D-2 network sweep: {title} ====\n");
+        let mut t = TextTable::new(vec!["link", "1 request", "8 concurrent", "slowdown @8"]);
+        for r in &rows {
+            t.row(vec![
+                r.label.clone(),
+                format!("{:.1} s", r.single),
+                format!("{:.1} s", r.stressed),
+                format!("{:.1}x", r.stressed / r.single),
+            ]);
+        }
+        println!("{}", t.render());
+    };
+    render(
+        "upload + generate Web service (5 MB, client LAN)",
+        lan_rows.into_inner(),
+    );
+    render(
+        "service use (2 MB staging + 30 s job, WAN to the site)",
+        wan_rows.into_inner(),
+    );
+    println!(
+        "paper claim: slow links dominate request treatment for BOTH basic\n\
+         use cases, and concurrency amplifies it — latency should fall\n\
+         steeply with bandwidth until another resource takes over."
+    );
+}

@@ -1,0 +1,107 @@
+//! Trace-driven scheduler study: replay a Standard Workload Format trace
+//! (synthesized with the classic grid-workload shapes) through both batch
+//! policies, the ablation behind the paper's queue-wait term.
+//!
+//! The trace round-trips through real SWF text first — the same path an
+//! archived Parallel-Workloads-Archive file would take — and the run
+//! reports per-policy completion statistics plus achieved utilization.
+//!
+//! Run with: `cargo run -p onserve-bench --bin trace_replay`
+
+use gridsim::scheduler::{ClusterScheduler, SchedPolicy};
+use gridsim::{JobOutcome, WorkloadTrace};
+use simkit::report::TextTable;
+use simkit::stats::summarize;
+use simkit::{Rng, Sim};
+
+fn main() {
+    // synthesize, then round-trip through SWF text like an archive file
+    let mut rng = Rng::new(2010);
+    let synthetic = WorkloadTrace::synthesize(&mut rng, 400, 20.0, 16);
+    let swf = synthetic.to_swf();
+    let trace = WorkloadTrace::parse(&swf).expect("swf roundtrip");
+    assert_eq!(trace, synthetic);
+    println!(
+        "trace: {} jobs, {:.0} core-hours, horizon {:.1} h (SWF text {} KB)\n",
+        trace.jobs.len(),
+        trace.core_seconds() / 3600.0,
+        trace.jobs.last().map(|j| j.submit as f64).unwrap_or(0.0) / 3600.0,
+        swf.len() / 1024,
+    );
+
+    let mut table = TextTable::new(vec![
+        "policy",
+        "completed",
+        "killed",
+        "makespan",
+        "utilization",
+        "p50 turnaround",
+        "p95 turnaround",
+    ]);
+    for policy in [SchedPolicy::Fcfs, SchedPolicy::Backfill] {
+        let mut sim = Sim::new(7);
+        let sched = ClusterScheduler::new("m", 4, 8, policy);
+        let total_cores = sched.borrow().total_cores() as f64;
+        // track turnaround: completion time − submit time
+        let log = trace.replay(&mut sim, &sched);
+        sim.run();
+        let makespan = sim.now().as_secs_f64();
+        let completed = log
+            .borrow()
+            .iter()
+            .filter(|&&(_, oc)| oc == JobOutcome::Completed)
+            .count();
+        let killed = log.borrow().len() - completed;
+        // turnaround per job: log order is completion order; recompute from
+        // the trace's submit times via job id
+        let submit_of: std::collections::HashMap<u64, u64> =
+            trace.jobs.iter().map(|j| (j.job_id, j.submit)).collect();
+        // completion instants are not in the log; re-derive turnaround by a
+        // second instrumented run
+        let mut sim2 = Sim::new(7);
+        let sched2 = ClusterScheduler::new("m2", 4, 8, policy);
+        let turnarounds: std::rc::Rc<std::cell::RefCell<Vec<f64>>> =
+            std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for j in &trace.jobs {
+            let t = std::rc::Rc::clone(&turnarounds);
+            let submit = *submit_of.get(&j.job_id).expect("known job") as f64;
+            let sc = std::rc::Rc::clone(&sched2);
+            let j = *j;
+            sim2.schedule(
+                simkit::Duration::from_secs(j.submit),
+                move |sim| {
+                    let t2 = std::rc::Rc::clone(&t);
+                    ClusterScheduler::submit(
+                        &sc,
+                        sim,
+                        gridsim::scheduler::SchedRequest {
+                            cores: j.processors,
+                            walltime_limit: simkit::Duration::from_secs(j.requested_time.max(1)),
+                            actual_runtime: simkit::Duration::from_secs(j.run_time),
+                        },
+                        move |sim, _| {
+                            t2.borrow_mut().push(sim.now().as_secs_f64() - submit);
+                        },
+                    );
+                },
+            );
+        }
+        sim2.run();
+        let s = summarize(&turnarounds.borrow());
+        let core_seconds = sim.recorder_ref().total("m.core_seconds");
+        table.row(vec![
+            format!("{policy:?}"),
+            completed.to_string(),
+            killed.to_string(),
+            format!("{:.1} h", makespan / 3600.0),
+            format!("{:.0}%", 100.0 * core_seconds / (total_cores * makespan)),
+            format!("{:.0} s", s.p50),
+            format!("{:.0} s", s.p95),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "backfill fills reservation holes with narrow/short jobs: same work,\n\
+         shorter makespan, higher utilization, fatter-tail turnaround cut."
+    );
+}

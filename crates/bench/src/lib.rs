@@ -1,0 +1,257 @@
+#![warn(missing_docs)]
+
+//! Shared experiment drivers for the benchmark harness.
+//!
+//! Every figure-regeneration binary (`fig6`, `fig7`, `fig8`,
+//! `scalability`, `netsweep`, `diskio`, `overhead`) and the criterion
+//! benches build on the same blocking [`Runner`] around a
+//! [`Deployment`], plus the figure-rendering helpers here. Binaries print
+//! the same series the paper plots (ASCII charts + row tables) so
+//! EXPERIMENTS.md can quote exact numbers.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use onserve::deployment::{Deployment, DeploymentSpec};
+use onserve::profile::ExecutionProfile;
+use onserve::PublishedService;
+use simkit::metrics::Series;
+use simkit::report::{ascii_chart_rows, series_table};
+use simkit::{Sim, SimTime};
+use wsstack::{SoapFault, SoapValue};
+
+/// A deployment plus its simulator, with blocking-style verbs.
+pub struct Runner {
+    /// The virtual world.
+    pub sim: Sim,
+    /// The system under test.
+    pub d: Deployment,
+}
+
+impl Runner {
+    /// Fresh system with the paper's 3-second sampling.
+    pub fn new(seed: u64, spec: &DeploymentSpec) -> Runner {
+        let mut sim = Sim::new(seed);
+        let d = Deployment::build(&mut sim, spec);
+        Runner { sim, d }
+    }
+
+    /// Fresh system with a custom sampling interval.
+    pub fn with_sampling(seed: u64, spec: &DeploymentSpec, interval: simkit::Duration) -> Runner {
+        let mut sim = Sim::with_sample_interval(seed, interval);
+        let d = Deployment::build(&mut sim, spec);
+        Runner { sim, d }
+    }
+
+    /// Upload + publish, draining the simulation.
+    pub fn publish(
+        &mut self,
+        name: &str,
+        len: usize,
+        profile: ExecutionProfile,
+        params: &[(&str, &str)],
+    ) -> PublishedService {
+        let req = self.d.upload_request(name, len, profile, params);
+        let out: Rc<RefCell<Option<PublishedService>>> = Rc::new(RefCell::new(None));
+        let o2 = Rc::clone(&out);
+        self.d.portal.upload(&mut self.sim, req, move |_, r| {
+            *o2.borrow_mut() = Some(r.expect("publish"));
+        });
+        self.sim.run();
+        let svc = out.borrow_mut().take().expect("published");
+        svc
+    }
+
+    /// Invoke and drain; returns `(result, completion_instant)`.
+    pub fn invoke_blocking(
+        &mut self,
+        service: &str,
+        args: &[(&str, SoapValue)],
+    ) -> (Result<SoapValue, SoapFault>, SimTime) {
+        let out: Rc<RefCell<Option<Result<SoapValue, SoapFault>>>> = Rc::new(RefCell::new(None));
+        let at = Rc::new(Cell::new(SimTime::ZERO));
+        let (o2, a2) = (Rc::clone(&out), Rc::clone(&at));
+        self.d.invoke(&mut self.sim, service, args, move |sim, r| {
+            *o2.borrow_mut() = Some(r);
+            a2.set(sim.now());
+        });
+        self.sim.run();
+        let r = out.borrow_mut().take().expect("responded");
+        (r, at.get())
+    }
+}
+
+/// One plotted curve: label, y-axis unit, `(t, value)` rows.
+pub struct Curve {
+    /// Legend label.
+    pub label: String,
+    /// Unit of the y values after scaling.
+    pub unit: String,
+    /// `(t_seconds, value)` rows.
+    pub rows: Vec<(f64, f64)>,
+}
+
+/// Extract a curve from a recorded series, rebased so `t0` is zero and
+/// values scaled by `scale` (e.g. `1/(interval·KB)` turns bytes-per-bucket
+/// into KB/s).
+pub fn curve_from(
+    series: Option<&Series>,
+    t0: SimTime,
+    label: &str,
+    unit: &str,
+    scale: f64,
+) -> Curve {
+    let rows = match series {
+        None => Vec::new(),
+        Some(s) => {
+            let start = (t0.ticks() / s.interval().ticks()) as usize;
+            let iv = s.interval().as_secs_f64();
+            s.buckets()
+                .iter()
+                .enumerate()
+                .skip(start)
+                .map(|(i, &v)| ((i - start) as f64 * iv, v * scale))
+                .collect()
+        }
+    };
+    Curve {
+        label: label.to_owned(),
+        unit: unit.to_owned(),
+        rows,
+    }
+}
+
+/// Trim trailing all-zero tail from a set of curves (keeps charts tight).
+pub fn trim_curves(curves: &mut [Curve]) {
+    let last_active = curves
+        .iter()
+        .flat_map(|c| {
+            c.rows
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, v))| v.abs() > 1e-9)
+                .map(|(i, _)| i)
+                .max()
+        })
+        .max()
+        .unwrap_or(0);
+    for c in curves.iter_mut() {
+        c.rows.truncate(last_active + 2);
+    }
+}
+
+/// Render a figure: header, one chart per curve, then the row tables.
+pub fn render_figure(title: &str, note: &str, curves: &[Curve]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("==== {title} ====\n"));
+    if !note.is_empty() {
+        out.push_str(note);
+        out.push('\n');
+    }
+    out.push('\n');
+    for c in curves {
+        out.push_str(&ascii_chart_rows(
+            &format!("{} [{}]", c.label, c.unit),
+            &c.unit,
+            &c.rows,
+            8,
+        ));
+        out.push('\n');
+    }
+    for c in curves {
+        out.push_str(&format!("--- {} ({}) ---\n", c.label, c.unit));
+        out.push_str(&series_table(&c.unit, &c.rows));
+        out.push('\n');
+    }
+    out
+}
+
+/// The paper's KB (1024 bytes).
+pub const KB: f64 = 1024.0;
+
+/// Write a figure's curves to `target/experiments/<name>.csv` so the data
+/// behind every regenerated figure can be re-plotted with external tools.
+/// Returns the path written.
+pub fn save_curves(name: &str, curves: &[Curve]) -> std::io::Result<std::path::PathBuf> {
+    let headers: Vec<String> = curves
+        .iter()
+        .map(|c| format!("{} ({})", c.label, c.unit))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<&[(f64, f64)]> = curves.iter().map(|c| c.rows.as_slice()).collect();
+    let csv = simkit::report::curves_to_csv(&header_refs, &rows);
+    let dir = std::path::Path::new("target").join("experiments");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, csv)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Duration;
+
+    #[test]
+    fn runner_round_trip() {
+        let mut r = Runner::new(5, &DeploymentSpec::default());
+        let svc = r.publish("t.exe", 4096, ExecutionProfile::quick().producing(64.0), &[]);
+        assert_eq!(svc.service_name, "t");
+        let (res, at) = r.invoke_blocking("t", &[]);
+        assert!(matches!(res, Ok(SoapValue::Binary { .. })));
+        assert!(at > SimTime::ZERO);
+    }
+
+    #[test]
+    fn curve_rebases_time() {
+        let mut sim = Sim::with_sample_interval(1, Duration::from_secs(1));
+        sim.recorder().add_point("x", SimTime::from_secs(5), 10.0);
+        let c = curve_from(
+            sim.recorder_ref().series("x"),
+            SimTime::from_secs(4),
+            "x",
+            "u",
+            0.5,
+        );
+        assert_eq!(c.rows, vec![(0.0, 0.0), (1.0, 5.0)]);
+    }
+
+    #[test]
+    fn trim_removes_tail() {
+        let mut curves = vec![Curve {
+            label: "a".into(),
+            unit: "u".into(),
+            rows: vec![(0.0, 1.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (4.0, 0.0)],
+        }];
+        trim_curves(&mut curves);
+        assert_eq!(curves[0].rows.len(), 2);
+    }
+
+    #[test]
+    fn save_curves_writes_csv() {
+        let curves = vec![Curve {
+            label: "net".into(),
+            unit: "KB/s".into(),
+            rows: vec![(0.0, 1.0), (3.0, 2.5)],
+        }];
+        let path = save_curves("unit-test-figure", &curves).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.starts_with("t_seconds,net (KB/s)"));
+        assert!(text.contains("3,2.5"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn figure_renders_all_sections() {
+        let curves = vec![Curve {
+            label: "net".into(),
+            unit: "KB/s".into(),
+            rows: vec![(0.0, 1.0), (3.0, 2.0)],
+        }];
+        let s = render_figure("Fig X", "a note", &curves);
+        assert!(s.contains("Fig X"));
+        assert!(s.contains("a note"));
+        assert!(s.contains("net"));
+        assert!(s.contains("KB/s"));
+    }
+}

@@ -1,0 +1,143 @@
+//! A registry browser — the tool the paper says is missing.
+//!
+//! "To use the generated services, a user should examine the UDDI registry
+//! provided by the solution. The user has to do so by using external tools
+//! as the presented solution doesn't come with a tool to examine UDDI
+//! registries" (§VIII-D4). This module closes that gap: a catalog view of
+//! everything published, and a detail view per service with its operation
+//! signature pulled from the live WSDL — what a consumer needs before
+//! running `wsimport`.
+
+use simkit::report::TextTable;
+use wsstack::ParamType;
+
+use crate::onserve::OnServe;
+
+fn type_label(t: ParamType) -> &'static str {
+    match t {
+        ParamType::Str => "string",
+        ParamType::Int => "int",
+        ParamType::Double => "double",
+        ParamType::Bool => "boolean",
+        ParamType::Binary => "base64",
+    }
+}
+
+/// One-line-per-service catalog of the registry (name, key, endpoint,
+/// `execute` signature).
+pub fn catalog(onserve: &OnServe) -> String {
+    let mut reg = onserve.registry().borrow_mut();
+    let container = onserve.container().borrow();
+    let mut table = TextTable::new(vec!["service", "uddi key", "endpoint", "signature"]);
+    for svc in reg.find("%") {
+        let signature = container
+            .wsdl_for(&svc.name)
+            .and_then(|w| w.operation("execute"))
+            .map(|op| {
+                let params: Vec<String> = op
+                    .inputs
+                    .iter()
+                    .map(|p| format!("{}: {}", p.name, type_label(p.ty)))
+                    .collect();
+                format!("execute({}) -> {}", params.join(", "), type_label(op.output))
+            })
+            .unwrap_or_else(|| "(undeployed)".to_owned());
+        table.row(vec![
+            svc.name.clone(),
+            svc.service_key.clone(),
+            svc.bindings[0].access_point.clone(),
+            signature,
+        ]);
+    }
+    table.render()
+}
+
+/// Detail view for services matching a UDDI `%`-pattern: description,
+/// bindings and the full WSDL text.
+pub fn describe(onserve: &OnServe, pattern: &str) -> String {
+    let mut reg = onserve.registry().borrow_mut();
+    let container = onserve.container().borrow();
+    let mut out = String::new();
+    let hits = reg.find(pattern);
+    if hits.is_empty() {
+        return format!("no services match '{pattern}'\n");
+    }
+    for svc in hits {
+        out.push_str(&format!("service:     {}\n", svc.name));
+        out.push_str(&format!("key:         {}\n", svc.service_key));
+        out.push_str(&format!("business:    {}\n", svc.business));
+        out.push_str(&format!("description: {}\n", svc.description));
+        for b in &svc.bindings {
+            out.push_str(&format!("endpoint:    {}\n", b.access_point));
+            out.push_str(&format!("wsdl:        {}\n", b.wsdl_location));
+        }
+        match container.wsdl_for(&svc.name) {
+            Some(w) => {
+                out.push_str("--- WSDL ---\n");
+                out.push_str(&w.to_text());
+                out.push('\n');
+            }
+            None => out.push_str("(service not deployed in the container)\n"),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::{Deployment, DeploymentSpec};
+    use crate::profile::ExecutionProfile;
+    use simkit::Sim;
+
+    fn world() -> (Sim, Deployment) {
+        let mut sim = Sim::new(55);
+        let d = Deployment::build(&mut sim, &DeploymentSpec::default());
+        for (name, params) in [
+            ("alpha.exe", vec![("n", "int")]),
+            ("beta.exe", vec![("x", "double"), ("label", "string")]),
+        ] {
+            let req = d.upload_request(name, 4096, ExecutionProfile::quick(), &params);
+            d.portal.upload(&mut sim, req, |_, r| {
+                r.expect("publish");
+            });
+            sim.run();
+        }
+        (sim, d)
+    }
+
+    #[test]
+    fn catalog_lists_everything_with_signatures() {
+        let (_sim, d) = world();
+        let c = catalog(&d.onserve);
+        assert!(c.contains("alpha"), "{c}");
+        assert!(c.contains("beta"), "{c}");
+        assert!(c.contains("execute(n: int) -> base64"), "{c}");
+        assert!(c.contains("execute(x: double, label: string) -> base64"), "{c}");
+        assert!(c.contains("uuid:"), "{c}");
+    }
+
+    #[test]
+    fn describe_includes_wsdl() {
+        let (_sim, d) = world();
+        let det = describe(&d.onserve, "alpha");
+        assert!(det.contains("service:     alpha"));
+        assert!(det.contains("--- WSDL ---"));
+        assert!(det.contains("wsdl:definitions"));
+    }
+
+    #[test]
+    fn describe_unknown_pattern() {
+        let (_sim, d) = world();
+        assert!(describe(&d.onserve, "zzz").contains("no services match"));
+    }
+
+    #[test]
+    fn describe_undeployed_service_is_flagged() {
+        let (_sim, d) = world();
+        d.onserve.container().borrow_mut().undeploy("alpha");
+        let det = describe(&d.onserve, "alpha");
+        assert!(det.contains("not deployed"), "{det}");
+    }
+}

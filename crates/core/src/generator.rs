@@ -1,0 +1,157 @@
+//! The service generator — the paper's ant build script.
+//!
+//! "It uses a Web service template file and modifies its name and the
+//! initial value of an instance variable. Then it modifies the service
+//! description file and generates an aar-file that is finally copied into
+//! the Web service framework's service directory" (§VI). Given a stored
+//! executable record, this module derives the service name, synthesizes
+//! the WSDL (one `execute` operation whose inputs are the declared
+//! parameters and whose output is the job's output payload) and prices the
+//! build (CPU seconds, archive bytes).
+
+use blobstore::ExecutableRecord;
+use wsstack::{ParamType, WsdlDocument, WsdlOperation};
+
+use crate::params::to_wsdl_params;
+
+/// Baseline archive size: the compiled template service + descriptors.
+pub const ARCHIVE_BASE_BYTES: f64 = 22.0 * 1024.0;
+/// Per-parameter archive growth (generated setter/descriptor entries).
+pub const ARCHIVE_PER_PARAM_BYTES: f64 = 256.0;
+/// Fixed build cost: ant + javac + aar packaging of the template.
+pub const BUILD_BASE_CPU_SECS: f64 = 1.2;
+/// Incremental build cost per declared parameter.
+pub const BUILD_PER_PARAM_CPU_SECS: f64 = 0.05;
+
+/// Output of a generation run, ready for container deployment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GeneratedService {
+    /// Derived service name.
+    pub service_name: String,
+    /// The generated interface description.
+    pub wsdl: WsdlDocument,
+    /// `.aar` size in bytes.
+    pub archive_bytes: f64,
+    /// Build CPU cost in seconds.
+    pub build_cpu_secs: f64,
+}
+
+/// Derive the service name from the uploaded file name: strip the
+/// extension and path, sanitize to identifier characters.
+pub fn service_name_for(file_name: &str) -> String {
+    let base = file_name
+        .rsplit(['/', '\\'])
+        .next()
+        .unwrap_or(file_name);
+    let stem = base.split('.').next().unwrap_or(base);
+    let mut name: String = stem
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        name.insert(0, 's');
+    }
+    name
+}
+
+/// Generate the service for a stored executable. `appliance_host` names
+/// the endpoint host.
+pub fn generate(
+    record: &ExecutableRecord,
+    appliance_host: &str,
+) -> Result<GeneratedService, String> {
+    let service_name = service_name_for(&record.name);
+    let inputs = to_wsdl_params(&record.params)?;
+    let n_params = inputs.len() as f64;
+    let endpoint = format!("http://{appliance_host}:8080/services/{service_name}");
+    let wsdl = WsdlDocument::single_op(
+        &service_name,
+        &endpoint,
+        &record.description,
+        WsdlOperation {
+            name: "execute".into(),
+            inputs,
+            output: ParamType::Binary,
+        },
+    );
+    Ok(GeneratedService {
+        service_name,
+        wsdl,
+        archive_bytes: ARCHIVE_BASE_BYTES + ARCHIVE_PER_PARAM_BYTES * n_params,
+        build_cpu_secs: BUILD_BASE_CPU_SECS + BUILD_PER_PARAM_CPU_SECS * n_params,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobstore::ParamSpec;
+
+    fn record(name: &str, params: Vec<ParamSpec>) -> ExecutableRecord {
+        ExecutableRecord {
+            id: 1,
+            name: name.to_owned(),
+            description: "a tool".into(),
+            params,
+            original_len: 1000,
+            stored_len: 500,
+            checksum: 0,
+        }
+    }
+
+    #[test]
+    fn name_derivation() {
+        assert_eq!(service_name_for("blast.exe"), "blast");
+        assert_eq!(service_name_for("/opt/bin/my-tool.bin"), "my_tool");
+        assert_eq!(service_name_for("solver"), "solver");
+        assert_eq!(service_name_for("3dsim.exe"), "s3dsim");
+        assert_eq!(service_name_for(""), "s");
+        assert_eq!(service_name_for("a b.exe"), "a_b");
+    }
+
+    #[test]
+    fn generated_wsdl_matches_declaration() {
+        let rec = record(
+            "blast.exe",
+            vec![
+                ParamSpec::new("sequence", "string"),
+                ParamSpec::new("evalue", "double"),
+            ],
+        );
+        let g = generate(&rec, "appliance").unwrap();
+        assert_eq!(g.service_name, "blast");
+        assert_eq!(g.wsdl.endpoint, "http://appliance:8080/services/blast");
+        assert_eq!(g.wsdl.documentation, "a tool");
+        let op = g.wsdl.operation("execute").unwrap();
+        assert_eq!(op.inputs.len(), 2);
+        assert_eq!(op.inputs[0].name, "sequence");
+        assert_eq!(op.output, ParamType::Binary);
+    }
+
+    #[test]
+    fn costs_scale_with_params() {
+        let small = generate(&record("a", vec![]), "h").unwrap();
+        let big = generate(
+            &record("b", (0..10).map(|i| ParamSpec::new(&format!("p{i}"), "int")).collect()),
+            "h",
+        )
+        .unwrap();
+        assert!(big.archive_bytes > small.archive_bytes);
+        assert!(big.build_cpu_secs > small.build_cpu_secs);
+    }
+
+    #[test]
+    fn bad_param_type_fails_generation() {
+        let rec = record("x", vec![ParamSpec::new("p", "matrix")]);
+        assert!(generate(&rec, "h").unwrap_err().contains("matrix"));
+    }
+
+    #[test]
+    fn generated_wsdl_is_parseable() {
+        let rec = record("tool.exe", vec![ParamSpec::new("n", "int")]);
+        let g = generate(&rec, "appliance").unwrap();
+        let text = g.wsdl.to_text();
+        let parsed = WsdlDocument::parse_text(&text).unwrap();
+        assert_eq!(parsed, g.wsdl);
+    }
+}

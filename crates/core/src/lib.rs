@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # cyberaide-onserve — SaaS on production Grids
+//!
+//! Reproduction of *"Cyberaide onServe: Software as a Service on Production
+//! Grids"* (ICPP 2010). onServe is "a lightweight middleware with a virtual
+//! appliance \[that\] implements the SaaS methodology on production Grids by
+//! translating the SaaS model to the JSE model": users upload executables
+//! through a portal; onServe stores them in a database, generates a Web
+//! service per executable, publishes it in a UDDI registry; invoking the
+//! service fetches the executable from the database, authenticates against
+//! the Grid, stages the file, generates an RSL job description, submits
+//! through the gatekeeper and polls the output back.
+//!
+//! The crate wires the substrates together:
+//!
+//! * [`params`] — the portal dialog's parameter declarations and their
+//!   mapping onto WSDL/SOAP types.
+//! * [`profile`] — execution profiles: what an uploaded executable *does*
+//!   when run (runtime, cores, output volume) — the simulation's stand-in
+//!   for actually executing uploaded binaries.
+//! * [`generator`] — the "ant build script": executable record → service
+//!   archive (WSDL + `.aar`) ready for the SOAP container.
+//! * [`watchdog`] — the `tools` package's watchdog, "used to react
+//!   correctly in some situations where a problem may occur (for example
+//!   when a process takes too long to complete)" (§VI).
+//! * [`onserve`] — the middleware object: upload→generate→publish, plus
+//!   the SaaS→JSE invocation pipeline behind every generated service.
+//! * [`portal`] — the Cyberaide portal front end: receives uploads over
+//!   the LAN (the Figure 8 scenario) and drives [`onserve`].
+//! * [`browser`] — the registry-inspection tool §VIII-D4 says the
+//!   original lacked: catalog + per-service detail views over UDDI.
+//! * [`deployment`] — one-call assembly of the full measured system:
+//!   appliance + grid + agent + onServe + client channel, used by the
+//!   examples, the integration tests and every benchmark binary.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use onserve::deployment::{Deployment, DeploymentSpec};
+//! use onserve::profile::ExecutionProfile;
+//! use simkit::Sim;
+//!
+//! let mut sim = Sim::new(42);
+//! let d = Deployment::build(&mut sim, &DeploymentSpec::default());
+//! // upload an executable through the portal, then invoke it as a service
+//! let upload = d.upload_request("hello", 4096, ExecutionProfile::quick(), &[]);
+//! d.portal.upload(&mut sim, upload, |_, r| { r.expect("published"); });
+//! sim.run();
+//! assert_eq!(d.onserve.registry().borrow_mut().find("hello").len(), 1);
+//! ```
+
+pub mod browser;
+pub mod deployment;
+pub mod generator;
+pub mod onserve;
+pub mod params;
+pub mod portal;
+pub mod profile;
+pub mod watchdog;
+
+pub use deployment::{Deployment, DeploymentSpec};
+pub use onserve::{InvokeError, OnServe, OnServeConfig, PublishedService, UploadError};
+pub use params::{param_type_from_name, validate_args};
+pub use portal::{Portal, UploadRequest};
+pub use profile::ExecutionProfile;
+pub use watchdog::Watchdog;

@@ -1,0 +1,141 @@
+//! Parameter declarations: the portal dialog ↔ WSDL/SOAP types.
+//!
+//! The upload dialog (Figure 3) lets the user declare "information about
+//! possible parameters, such as name and type"; the generated Web service
+//! then exposes an `execute` operation with exactly those typed inputs.
+//! This module maps the dialog's type names onto [`wsstack::ParamType`]s
+//! and renders invocation arguments into the command-line strings the job
+//! description carries.
+
+use blobstore::ParamSpec;
+use wsstack::{ParamType, SoapValue, WsdlParam};
+
+/// Parse a dialog type name (`string`, `int`, `double`, `boolean`,
+/// `base64`). Unknown names are `None`.
+pub fn param_type_from_name(name: &str) -> Option<ParamType> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "string" | "str" => ParamType::Str,
+        "int" | "integer" | "long" => ParamType::Int,
+        "double" | "float" => ParamType::Double,
+        "boolean" | "bool" => ParamType::Bool,
+        "base64" | "binary" | "file" => ParamType::Binary,
+        _ => return None,
+    })
+}
+
+/// Convert declared [`ParamSpec`]s into WSDL inputs; fails on unknown type
+/// names (caught at upload time, matching the dialog's validation).
+pub fn to_wsdl_params(specs: &[ParamSpec]) -> Result<Vec<WsdlParam>, String> {
+    specs
+        .iter()
+        .map(|s| {
+            param_type_from_name(&s.type_name)
+                .map(|ty| WsdlParam {
+                    name: s.name.clone(),
+                    ty,
+                })
+                .ok_or_else(|| format!("unknown parameter type '{}' for {}", s.type_name, s.name))
+        })
+        .collect()
+}
+
+/// Validate invocation arguments against the declared specs and render
+/// them as command-line strings (the agent's "parameter string").
+pub fn validate_args(
+    specs: &[ParamSpec],
+    args: &std::collections::BTreeMap<String, SoapValue>,
+) -> Result<Vec<String>, String> {
+    let mut rendered = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let value = args
+            .get(&spec.name)
+            .ok_or_else(|| format!("missing argument {}", spec.name))?;
+        let ty = param_type_from_name(&spec.type_name)
+            .ok_or_else(|| format!("unknown parameter type '{}'", spec.type_name))?;
+        if !ty.matches(value) {
+            return Err(format!("argument {} expects {}", spec.name, ty.xsd()));
+        }
+        rendered.push(render_arg(value));
+    }
+    if args.len() > specs.len() {
+        return Err("unexpected extra arguments".into());
+    }
+    Ok(rendered)
+}
+
+fn render_arg(value: &SoapValue) -> String {
+    match value {
+        SoapValue::Str(s) => s.clone(),
+        SoapValue::Int(i) => i.to_string(),
+        SoapValue::Double(d) => d.to_string(),
+        SoapValue::Bool(b) => b.to_string(),
+        SoapValue::Binary { bytes, digest } => format!("@file:{bytes}:{digest:x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn specs() -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("iterations", "int"),
+            ParamSpec::new("label", "string"),
+            ParamSpec::new("eps", "double"),
+        ]
+    }
+
+    #[test]
+    fn type_names_parse_with_aliases() {
+        assert_eq!(param_type_from_name("String"), Some(ParamType::Str));
+        assert_eq!(param_type_from_name("INTEGER"), Some(ParamType::Int));
+        assert_eq!(param_type_from_name("float"), Some(ParamType::Double));
+        assert_eq!(param_type_from_name("bool"), Some(ParamType::Bool));
+        assert_eq!(param_type_from_name("file"), Some(ParamType::Binary));
+        assert_eq!(param_type_from_name("quaternion"), None);
+    }
+
+    #[test]
+    fn wsdl_params_conversion() {
+        let w = to_wsdl_params(&specs()).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].ty, ParamType::Int);
+        assert!(to_wsdl_params(&[ParamSpec::new("x", "blob")]).is_err());
+    }
+
+    #[test]
+    fn args_validate_and_render_in_declared_order() {
+        let mut args = BTreeMap::new();
+        args.insert("eps".to_string(), SoapValue::Double(0.5));
+        args.insert("iterations".to_string(), SoapValue::Int(10));
+        args.insert("label".to_string(), SoapValue::Str("run-1".into()));
+        let rendered = validate_args(&specs(), &args).unwrap();
+        assert_eq!(rendered, vec!["10", "run-1", "0.5"]);
+    }
+
+    #[test]
+    fn validation_failures() {
+        let mut args = BTreeMap::new();
+        args.insert("iterations".to_string(), SoapValue::Str("ten".into()));
+        args.insert("label".to_string(), SoapValue::Str("x".into()));
+        args.insert("eps".to_string(), SoapValue::Double(0.5));
+        assert!(validate_args(&specs(), &args).unwrap_err().contains("xsd:int"));
+        args.remove("iterations");
+        assert!(validate_args(&specs(), &args)
+            .unwrap_err()
+            .contains("missing argument"));
+        args.insert("iterations".to_string(), SoapValue::Int(1));
+        args.insert("surprise".to_string(), SoapValue::Int(1));
+        assert!(validate_args(&specs(), &args).unwrap_err().contains("extra"));
+    }
+
+    #[test]
+    fn binary_renders_as_file_reference() {
+        let v = SoapValue::Binary {
+            bytes: 100.0,
+            digest: 0xab,
+        };
+        assert_eq!(render_arg(&v), "@file:100:ab");
+    }
+}

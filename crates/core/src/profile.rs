@@ -1,0 +1,131 @@
+//! Execution profiles: what an uploaded executable does when run.
+//!
+//! The simulation cannot execute uploaded binaries, so each upload carries
+//! a profile describing its Grid-side behaviour — runtime, cores, output
+//! volume. This is the simulation's substitute for the real executable
+//! semantics (documented in DESIGN.md); every path the middleware takes is
+//! unchanged.
+
+use gridsim::gram::ExecutionModel;
+use simkit::{Duration, Rng, KB};
+
+/// Behaviour of one executable on the Grid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecutionProfile {
+    /// Mean true runtime.
+    pub runtime: Duration,
+    /// Relative runtime jitter (0.0 = deterministic, 0.2 = ±20%).
+    pub runtime_jitter: f64,
+    /// Cores requested.
+    pub cores: u32,
+    /// stdout bytes produced over the run.
+    pub output_bytes: f64,
+    /// Walltime limit = runtime × this factor (users pad their estimates).
+    pub walltime_factor: f64,
+}
+
+impl ExecutionProfile {
+    /// A seconds-scale job with small output (the paper's small-file test).
+    pub fn quick() -> ExecutionProfile {
+        ExecutionProfile {
+            runtime: Duration::from_secs(30),
+            runtime_jitter: 0.0,
+            cores: 1,
+            output_bytes: 24.0 * KB,
+            walltime_factor: 4.0,
+        }
+    }
+
+    /// A typical scientific run: tens of minutes, moderate output.
+    pub fn science_run() -> ExecutionProfile {
+        ExecutionProfile {
+            runtime: Duration::from_secs(45 * 60),
+            runtime_jitter: 0.1,
+            cores: 8,
+            output_bytes: 4.0 * 1024.0 * KB,
+            walltime_factor: 2.0,
+        }
+    }
+
+    /// Builder: fixed runtime.
+    pub fn lasting(mut self, runtime: Duration) -> ExecutionProfile {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Builder: output volume.
+    pub fn producing(mut self, output_bytes: f64) -> ExecutionProfile {
+        self.output_bytes = output_bytes;
+        self
+    }
+
+    /// Builder: core count.
+    pub fn on_cores(mut self, cores: u32) -> ExecutionProfile {
+        self.cores = cores;
+        self
+    }
+
+    /// The walltime limit to request.
+    pub fn walltime_limit(&self) -> Duration {
+        Duration::from_secs_f64(self.runtime.as_secs_f64() * self.walltime_factor)
+    }
+
+    /// Concretize into one run's [`ExecutionModel`], sampling jitter.
+    pub fn sample(&self, rng: &mut Rng) -> ExecutionModel {
+        let base = self.runtime.as_secs_f64();
+        let actual = if self.runtime_jitter > 0.0 {
+            let factor = 1.0 + rng.range_f64(-self.runtime_jitter, self.runtime_jitter);
+            base * factor.max(0.01)
+        } else {
+            base
+        };
+        ExecutionModel {
+            actual_runtime: Duration::from_secs_f64(actual),
+            output_bytes: self.output_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_without_jitter() {
+        let mut rng = Rng::new(1);
+        let p = ExecutionProfile::quick();
+        let a = p.sample(&mut rng);
+        let b = p.sample(&mut rng);
+        assert_eq!(a.actual_runtime, b.actual_runtime);
+        assert_eq!(a.actual_runtime, Duration::from_secs(30));
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut rng = Rng::new(2);
+        let p = ExecutionProfile::science_run();
+        let base = p.runtime.as_secs_f64();
+        for _ in 0..200 {
+            let m = p.sample(&mut rng);
+            let r = m.actual_runtime.as_secs_f64();
+            assert!(r >= base * 0.9 - 1.0 && r <= base * 1.1 + 1.0, "runtime {r}");
+        }
+    }
+
+    #[test]
+    fn walltime_limit_scales() {
+        let p = ExecutionProfile::quick();
+        assert_eq!(p.walltime_limit(), Duration::from_secs(120));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = ExecutionProfile::quick()
+            .lasting(Duration::from_secs(10))
+            .producing(5.0)
+            .on_cores(4);
+        assert_eq!(p.runtime, Duration::from_secs(10));
+        assert_eq!(p.output_bytes, 5.0);
+        assert_eq!(p.cores, 4);
+    }
+}

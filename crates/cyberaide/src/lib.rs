@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # cyberaide — the toolkit layer onServe is built on
+//!
+//! "The Cyberaide onServe is developed based on the Cyberaide toolkit,
+//! which is a light weight middleware for accessing production Grids"
+//! (§III). The toolkit's **agent** is itself a Web service on the
+//! appliance: onServe calls it to authenticate, stage files, generate job
+//! descriptions, submit jobs and — because "the actual status of the job
+//! can't be retrieved" in the paper's build — to *tentatively* poll for
+//! output (§VIII-B). This crate provides:
+//!
+//! * [`agent`] — the Cyberaide agent: sessions (MyProxy-backed
+//!   authentication with the paper's credential-exchange traffic), staging,
+//!   RSL generation, GRAM submission, tentative output polling, and the
+//!   deliberately-broken status interface (togglable for the ablation).
+//! * [`poller`] — the client-side polling loop: re-request output at a
+//!   fixed interval until the job completes, writing each response to the
+//!   local disk — the periodic disk-write peaks of Figures 6–7.
+//! * [`shell`] — Cyberaide Shell (named in §III): the scriptable command
+//!   layer over the agent, i.e. the manual JSE workflow onServe automates.
+
+pub mod agent;
+pub mod poller;
+pub mod shell;
+
+pub use agent::{AgentConfig, CyberaideAgent, PollResult, SessionId};
+pub use poller::{OutputPoller, PollError, PollStats};
+pub use shell::Shell;

@@ -1,0 +1,146 @@
+//! Property-based invariants of the toolkit layer.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use cyberaide::agent::{AgentConfig, CyberaideAgent};
+use cyberaide::{OutputPoller, PollError};
+use gridsim::gram::{ExecutionModel, JobHandle};
+use gridsim::{GridSite, MyProxyServer, ProductionGrid, SiteSpec};
+use proptest::prelude::*;
+use simkit::{Duplex, Duration, Host, HostSpec, Sim, SimTime, KB};
+
+struct World {
+    sim: Sim,
+    agent: Rc<CyberaideAgent>,
+    site: Rc<GridSite>,
+    session: u64,
+}
+
+fn world(seed: u64) -> World {
+    let mut sim = Sim::new(seed);
+    let grid = Rc::new(ProductionGrid::new(
+        "appliance",
+        seed,
+        vec![SiteSpec::teragrid_like("s1", 8, 8)],
+    ));
+    let cred = grid.enroll_user("/CN=u", "u", SimTime::ZERO, Duration::from_secs(7 * 86400));
+    let myproxy = Rc::new(RefCell::new(MyProxyServer::new()));
+    myproxy
+        .borrow_mut()
+        .store("u", "pw", cred.delegate(SimTime::ZERO, Duration::from_secs(86400)));
+    let site = Rc::clone(grid.site("s1").unwrap());
+    let agent = CyberaideAgent::new(
+        grid,
+        myproxy,
+        Host::new(&HostSpec::commodity("myproxy")),
+        Rc::new(Duplex::new(
+            "mp",
+            "appliance",
+            "myproxy",
+            200.0 * KB,
+            Duration::from_millis(30),
+        )),
+        Host::new(&HostSpec::commodity("appliance")),
+        AgentConfig::default(),
+    );
+    let sid = Rc::new(Cell::new(None));
+    let s2 = sid.clone();
+    agent.authenticate(&mut sim, "u", "pw", move |_, r| {
+        s2.set(Some(r.expect("auth")));
+    });
+    sim.run();
+    let session = sid.get().unwrap();
+    World {
+        sim,
+        agent,
+        site,
+        session,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The polling loop always terminates with exactly one outcome, for
+    /// any (runtime, interval, timeout) combination, and its poll count is
+    /// consistent with the interval.
+    #[test]
+    fn poller_always_terminates_once(
+        runtime_s in 1u64..600,
+        interval_s in 1u64..60,
+        timeout_s in 10u64..900,
+        out_kb in 0u64..64,
+    ) {
+        let mut w = world(runtime_s ^ (interval_s << 10));
+        w.agent.stage_file(&mut w.sim, w.session, &w.site, "e", 1024.0, |_, r| { r.unwrap(); });
+        w.sim.run();
+        let jd = w.agent.generate_job_description("e", &[], "e.out")
+            .walltime(Duration::from_secs(2 * runtime_s + 60));
+        let handle: Rc<RefCell<Option<JobHandle>>> = Rc::new(RefCell::new(None));
+        let h2 = handle.clone();
+        w.agent.submit_job(
+            &mut w.sim,
+            w.session,
+            &w.site,
+            &jd,
+            ExecutionModel {
+                actual_runtime: Duration::from_secs(runtime_s),
+                output_bytes: (out_kb * 1024) as f64,
+            },
+            move |_, r| { *h2.borrow_mut() = Some(r.expect("submit")); },
+        );
+        let deadline = w.sim.now() + Duration::from_secs(5);
+        w.sim.run_until(deadline);
+        let handle = handle.borrow().clone().expect("handle");
+        let outcomes = Rc::new(Cell::new(0u32));
+        let o2 = outcomes.clone();
+        let got_err = Rc::new(Cell::new(false));
+        let e2 = got_err.clone();
+        OutputPoller {
+            interval: Duration::from_secs(interval_s),
+            timeout: Duration::from_secs(timeout_s),
+        }
+        .start(
+            &mut w.sim,
+            Rc::clone(&w.agent),
+            w.session,
+            Rc::clone(&w.site),
+            handle,
+            move |_, res| {
+                o2.set(o2.get() + 1);
+                if let Err((PollError::TimedOut { .. }, _)) = res {
+                    e2.set(true);
+                }
+            },
+        );
+        w.sim.run();
+        prop_assert_eq!(outcomes.get(), 1, "poller must report exactly once");
+        // if it timed out, the timeout must actually have been shorter
+        // than the job (+ slack for staging/submission phases)
+        if got_err.get() {
+            prop_assert!(timeout_s <= runtime_s + 2 * interval_s + 30,
+                "spurious timeout: timeout {} vs runtime {}", timeout_s, runtime_s);
+        }
+    }
+
+    /// Stage + submit works for any executable size; staging time is
+    /// monotone in size.
+    #[test]
+    fn staging_time_monotone(size_a in 1u64..5_000_000, size_b in 1u64..5_000_000) {
+        let time_for = |bytes: u64| {
+            let mut w = world(7);
+            let t0 = w.sim.now();
+            let at = Rc::new(Cell::new(0.0));
+            let a2 = at.clone();
+            w.agent.stage_file(&mut w.sim, w.session, &w.site, "f", bytes as f64, move |sim, r| {
+                r.unwrap();
+                a2.set(sim.now().as_secs_f64());
+            });
+            w.sim.run();
+            at.get() - t0.as_secs_f64()
+        };
+        let (lo, hi) = if size_a <= size_b { (size_a, size_b) } else { (size_b, size_a) };
+        prop_assert!(time_for(lo) <= time_for(hi) + 1e-6);
+    }
+}

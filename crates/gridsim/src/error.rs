@@ -1,0 +1,76 @@
+//! Error types surfaced by the Grid substrate.
+
+use std::fmt;
+
+use crate::security::SecurityError;
+
+/// Anything that can go wrong between a client and the production Grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GridError {
+    /// Security layer rejected the request.
+    Security(SecurityError),
+    /// The RSL job description failed to parse.
+    BadRsl(String),
+    /// The job description is syntactically fine but semantically invalid
+    /// for the target site (unknown queue, too many cores, walltime over
+    /// the queue limit, ...).
+    Rejected(String),
+    /// Referenced executable/input file has not been staged to the site.
+    MissingFile(String),
+    /// Unknown job handle.
+    NoSuchJob(u64),
+    /// Unknown site.
+    NoSuchSite(String),
+    /// The grid has no site that can run this request.
+    NoCapableSite,
+    /// Site storage is full.
+    StorageFull {
+        /// The site whose scratch filesystem rejected the write.
+        site: String,
+    },
+    /// The gatekeeper is not accepting requests (drained / outage window).
+    Unavailable(String),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::Security(e) => write!(f, "security: {e}"),
+            GridError::BadRsl(msg) => write!(f, "RSL parse error: {msg}"),
+            GridError::Rejected(msg) => write!(f, "job rejected: {msg}"),
+            GridError::MissingFile(name) => write!(f, "file not staged: {name}"),
+            GridError::NoSuchJob(id) => write!(f, "no such job: {id}"),
+            GridError::NoSuchSite(name) => write!(f, "no such site: {name}"),
+            GridError::NoCapableSite => write!(f, "no site can satisfy the request"),
+            GridError::StorageFull { site } => write!(f, "storage full at {site}"),
+            GridError::Unavailable(site) => write!(f, "gatekeeper unavailable at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+impl From<SecurityError> for GridError {
+    fn from(e: SecurityError) -> Self {
+        GridError::Security(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GridError::MissingFile("a.out".into());
+        assert_eq!(e.to_string(), "file not staged: a.out");
+        let e = GridError::Security(SecurityError::Expired);
+        assert!(e.to_string().contains("security"));
+    }
+
+    #[test]
+    fn from_security_error() {
+        let e: GridError = SecurityError::UntrustedIssuer.into();
+        assert_eq!(e, GridError::Security(SecurityError::UntrustedIssuer));
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # gridsim — a production-Grid simulator
+//!
+//! The paper deploys Cyberaide onServe against **TeraGrid**, a production
+//! Grid of eleven supercomputing centres accessed through rigid interfaces:
+//! GRAM-style job submission, x.509 proxy security, and GridFTP staging.
+//! None of that infrastructure exists anymore, so this crate rebuilds the
+//! *Job-Submission-Execution* (JSE) substrate as a deterministic simulation
+//! on the [`simkit`] kernel:
+//!
+//! * [`rsl`] — the job-description language (an RSL-like attribute list)
+//!   with a full serializer/parser; this is what the onServe middleware
+//!   generates when it translates a SaaS invocation into a Grid job.
+//! * [`security`] — simulated x.509 certificate chains, delegation-limited
+//!   proxy certificates, and a MyProxy-style online credential repository.
+//!   No real cryptography: certificates carry fingerprints, and validation
+//!   preserves the *logic* (trust roots, expiry, delegation depth,
+//!   revocation) that the middleware has to handle.
+//! * [`scheduler`] — space-shared batch scheduling over a cluster's cores:
+//!   FCFS and EASY-backfill policies, walltime enforcement, node failure
+//!   injection.
+//! * [`site`] — a supercomputing centre: a cluster + batch queue + a
+//!   GridFTP-like storage service reachable over a [`simkit::Link`].
+//! * [`gram`] — the gatekeeper protocol: authenticated submission, status
+//!   polling, cancellation; exactly the rigid interface the paper says
+//!   production Grids force on users.
+//! * [`grid`] — the whole production Grid: many sites, an information
+//!   service, a resource broker, and a background-workload generator that
+//!   keeps queues realistically busy ([`workload`]).
+//! * [`trace`] — Standard Workload Format (SWF) import/export and trace
+//!   replay, so archived grid workloads drive the scheduler too.
+//! * [`ops`] — operational events: scheduled maintenance windows
+//!   (drain → node outage → restore).
+//!
+//! Everything is driven by `simkit` events; nothing here does real I/O.
+
+pub mod error;
+pub mod gram;
+pub mod grid;
+pub mod ops;
+pub mod rsl;
+pub mod scheduler;
+pub mod security;
+pub mod site;
+pub mod trace;
+pub mod workload;
+
+pub use error::GridError;
+pub use gram::{Allocation, Gatekeeper, JobHandle, JobOutcome, JobState};
+pub use grid::{BrokerPolicy, ProductionGrid, SiteInfo};
+pub use ops::Maintenance;
+pub use rsl::JobDescription;
+pub use scheduler::{ClusterScheduler, SchedPolicy};
+pub use security::{CertAuthority, Credential, MyProxyServer, ProxyCert, SecurityError};
+pub use site::{GridSite, SiteSpec, StorageService};
+pub use trace::{TraceJob, WorkloadTrace};
+pub use workload::BackgroundLoad;

@@ -1,0 +1,186 @@
+//! Operational events on a production Grid: maintenance windows.
+//!
+//! Production Grids drain and service their machines on a schedule; users
+//! see it as "gatekeeper not accepting" followed by node unavailability.
+//! [`Maintenance`] scripts that sequence onto a site: at `drain_at` the
+//! gatekeeper stops accepting submissions; at `start` the nodes go down
+//! (running jobs fail, as real PM windows killed stragglers); at `end`
+//! everything returns. Combined with the middleware's retry extension this
+//! reproduces the operational reality onServe would have faced on
+//! TeraGrid.
+
+use std::rc::Rc;
+
+use simkit::{Sim, SimTime};
+
+use crate::scheduler::ClusterScheduler;
+use crate::site::GridSite;
+
+/// One scheduled maintenance window for a site.
+#[derive(Clone, Copy, Debug)]
+pub struct Maintenance {
+    /// Stop accepting new submissions at this instant (the drain).
+    pub drain_at: SimTime,
+    /// Take the nodes down at this instant (jobs still running fail).
+    pub start: SimTime,
+    /// Bring everything back at this instant.
+    pub end: SimTime,
+}
+
+impl Maintenance {
+    /// A window draining `drain_secs` before `start`, lasting until `end`.
+    pub fn window(start: SimTime, end: SimTime, drain_secs: u64) -> Maintenance {
+        assert!(start < end, "maintenance must end after it starts");
+        Maintenance {
+            drain_at: SimTime::from_ticks(
+                start
+                    .ticks()
+                    .saturating_sub(drain_secs * simkit::time::TICKS_PER_SEC),
+            ),
+            start,
+            end,
+        }
+    }
+
+    /// Install the window's events on `site`.
+    pub fn schedule(&self, sim: &mut Sim, site: &Rc<GridSite>) {
+        let m = *self;
+        let gk = Rc::clone(site.gatekeeper());
+        sim.schedule_at(m.drain_at, move |_| {
+            gk.borrow_mut().set_accepting(false);
+        });
+        let sched = Rc::clone(site.scheduler());
+        let nodes = site.spec().nodes;
+        sim.schedule_at(m.start, move |sim| {
+            for node in 0..nodes {
+                ClusterScheduler::fail_node(&sched, sim, node);
+            }
+        });
+        let gk = Rc::clone(site.gatekeeper());
+        let sched = Rc::clone(site.scheduler());
+        sim.schedule_at(m.end, move |sim| {
+            for node in 0..nodes {
+                ClusterScheduler::restore_node(&sched, sim, node);
+            }
+            gk.borrow_mut().set_accepting(true);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gram::{ExecutionModel, Gatekeeper};
+    use crate::scheduler::JobOutcome;
+    use crate::security::CertAuthority;
+    use crate::site::SiteSpec;
+    use simkit::Duration;
+    use std::cell::{Cell, RefCell};
+
+    fn world() -> (Sim, Rc<GridSite>, crate::security::Credential) {
+        let sim = Sim::new(0);
+        let ca = Rc::new(RefCell::new(CertAuthority::new("/CN=CA", 1)));
+        let cred =
+            ca.borrow_mut()
+                .issue("/CN=u", SimTime::ZERO, Duration::from_secs(7 * 86400));
+        let site = GridSite::new(SiteSpec::teragrid_like("m1", 2, 4), "appliance", ca);
+        site.gatekeeper().borrow_mut().grant("/CN=u", "u");
+        site.storage().borrow_mut().put("a.exe", 10.0).unwrap();
+        (sim, site, cred)
+    }
+
+    #[test]
+    fn drain_rejects_then_window_kills_then_service_returns() {
+        let (mut sim, site, cred) = world();
+        Maintenance::window(
+            SimTime::from_secs(600),
+            SimTime::from_secs(1200),
+            120, // drain from t=480
+        )
+        .schedule(&mut sim, &site);
+
+        // a long job submitted before the drain dies at the window start
+        let outcome = Rc::new(Cell::new(None));
+        let o2 = outcome.clone();
+        let h = Gatekeeper::submit(
+            site.gatekeeper(),
+            &mut sim,
+            &cred.proxy(),
+            "&(executable=a.exe)(maxWallTime=120)",
+            ExecutionModel {
+                actual_runtime: Duration::from_secs(5000),
+                output_bytes: 0.0,
+            },
+        )
+        .unwrap();
+        let _ = h;
+        let gk = Rc::clone(site.gatekeeper());
+        let o3 = o2.clone();
+        sim.schedule_at(SimTime::from_secs(1300), move |_| {
+            o3.set(Some(gk.borrow().poll(h.job).unwrap()));
+        });
+
+        // during the drain: submissions rejected
+        let cred2 = cred.clone();
+        let site2 = Rc::clone(&site);
+        let drained_err = Rc::new(Cell::new(false));
+        let d2 = drained_err.clone();
+        sim.schedule_at(SimTime::from_secs(500), move |sim| {
+            let r = Gatekeeper::submit(
+                site2.gatekeeper(),
+                sim,
+                &cred2.proxy(),
+                "&(executable=a.exe)(maxWallTime=1)",
+                ExecutionModel {
+                    actual_runtime: Duration::from_secs(1),
+                    output_bytes: 0.0,
+                },
+            );
+            d2.set(matches!(r, Err(crate::GridError::Unavailable(_))));
+        });
+
+        // after the window: submissions succeed again, full capacity
+        let cred3 = cred.clone();
+        let site3 = Rc::clone(&site);
+        let recovered = Rc::new(Cell::new(false));
+        let r2 = recovered.clone();
+        sim.schedule_at(SimTime::from_secs(1400), move |sim| {
+            assert_eq!(site3.scheduler().borrow().total_cores(), 8);
+            let r = Gatekeeper::submit(
+                site3.gatekeeper(),
+                sim,
+                &cred3.proxy(),
+                "&(executable=a.exe)(maxWallTime=1)",
+                ExecutionModel {
+                    actual_runtime: Duration::from_secs(1),
+                    output_bytes: 0.0,
+                },
+            );
+            r2.set(r.is_ok());
+        });
+
+        sim.run();
+        assert!(drained_err.get(), "drain must reject submissions");
+        assert!(recovered.get(), "service must return after the window");
+        // the walltime limit was 2 min but the node died at t=600 first...
+        // the job started at t=0 with a 120 min walltime: killed by the
+        // window, not the limit
+        assert_eq!(
+            outcome.get(),
+            Some(crate::JobState::Done(JobOutcome::NodeFailure))
+        );
+    }
+
+    #[test]
+    fn window_validation() {
+        let m = Maintenance::window(SimTime::from_secs(100), SimTime::from_secs(200), 300);
+        // drain clamps at t=0 when it would precede the epoch
+        assert_eq!(m.drain_at, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "end after it starts")]
+    fn backwards_window_rejected() {
+        let _ = Maintenance::window(SimTime::from_secs(200), SimTime::from_secs(100), 0);
+    }
+}

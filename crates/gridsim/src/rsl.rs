@@ -1,0 +1,560 @@
+//! The job-description language (RSL-like).
+//!
+//! Production Grids of the paper's era described jobs in Globus RSL — an
+//! attribute list like `&(executable=/bin/app)(count=4)(maxWallTime=60)`.
+//! The onServe middleware's whole point is *generating* these descriptions
+//! from a Web-service invocation ("Job description generation", §VII-B), so
+//! the language gets a faithful serializer and parser here.
+//!
+//! Grammar accepted by [`JobDescription::parse`]:
+//!
+//! ```text
+//! rsl      := '&' relation*
+//! relation := '(' name '=' value ')'
+//! value    := token* | quoted* | envlist
+//! envlist  := ( '(' token token ')' )*          -- for `environment`
+//! quoted   := '"' ( [^"] | '""' )* '"'
+//! ```
+
+use std::fmt;
+
+use simkit::Duration;
+
+/// A parsed/buildable Grid job description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobDescription {
+    /// Path or logical name of the staged executable (required).
+    pub executable: String,
+    /// Command-line arguments.
+    pub arguments: Vec<String>,
+    /// Number of cores requested.
+    pub count: u32,
+    /// Requested walltime limit; jobs running past it are killed.
+    pub max_wall_time: Duration,
+    /// Target batch queue (site default when `None`).
+    pub queue: Option<String>,
+    /// Remote working directory.
+    pub directory: Option<String>,
+    /// File capturing standard output.
+    pub stdout: Option<String>,
+    /// File capturing standard error.
+    pub stderr: Option<String>,
+    /// Accounting project.
+    pub project: Option<String>,
+    /// Environment variables.
+    pub environment: Vec<(String, String)>,
+    /// Logical file names that must be staged to the site before start.
+    pub stage_in: Vec<String>,
+    /// Logical file names produced by the job and kept in site storage.
+    pub stage_out: Vec<String>,
+}
+
+impl JobDescription {
+    /// A minimal single-core description for `executable`.
+    pub fn new(executable: &str) -> Self {
+        JobDescription {
+            executable: executable.to_owned(),
+            arguments: Vec::new(),
+            count: 1,
+            max_wall_time: Duration::from_secs(3600),
+            queue: None,
+            directory: None,
+            stdout: None,
+            stderr: None,
+            project: None,
+            environment: Vec::new(),
+            stage_in: Vec::new(),
+            stage_out: Vec::new(),
+        }
+    }
+
+    /// Builder: arguments.
+    pub fn args<I, S>(mut self, args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.arguments = args.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Builder: core count.
+    pub fn cores(mut self, count: u32) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Builder: walltime limit.
+    pub fn walltime(mut self, limit: Duration) -> Self {
+        self.max_wall_time = limit;
+        self
+    }
+
+    /// Builder: target queue.
+    pub fn on_queue(mut self, queue: &str) -> Self {
+        self.queue = Some(queue.to_owned());
+        self
+    }
+
+    /// Builder: stdout capture file.
+    pub fn capture_stdout(mut self, file: &str) -> Self {
+        self.stdout = Some(file.to_owned());
+        self
+    }
+
+    /// Builder: add a stage-in dependency.
+    pub fn stage_in_file(mut self, name: &str) -> Self {
+        self.stage_in.push(name.to_owned());
+        self
+    }
+
+    /// Builder: add a stage-out product.
+    pub fn stage_out_file(mut self, name: &str) -> Self {
+        self.stage_out.push(name.to_owned());
+        self
+    }
+
+    /// Semantic validity check (independent of any site).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.executable.is_empty() {
+            return Err("executable must not be empty".into());
+        }
+        if self.count == 0 {
+            return Err("count must be at least 1".into());
+        }
+        if self.max_wall_time.is_zero() {
+            return Err("maxWallTime must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Serialize to RSL text.
+    pub fn to_rsl(&self) -> String {
+        let mut out = String::from("&");
+        push_rel(&mut out, "executable", &self.executable);
+        if !self.arguments.is_empty() {
+            out.push_str("(arguments=");
+            for (i, a) in self.arguments.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&quote(a));
+            }
+            out.push(')');
+        }
+        if self.count != 1 {
+            push_rel(&mut out, "count", &self.count.to_string());
+        }
+        let mins = (self.max_wall_time.as_secs_f64() / 60.0).ceil() as u64;
+        push_rel(&mut out, "maxWallTime", &mins.to_string());
+        if let Some(q) = &self.queue {
+            push_rel(&mut out, "queue", q);
+        }
+        if let Some(d) = &self.directory {
+            push_rel(&mut out, "directory", d);
+        }
+        if let Some(s) = &self.stdout {
+            push_rel(&mut out, "stdout", s);
+        }
+        if let Some(s) = &self.stderr {
+            push_rel(&mut out, "stderr", s);
+        }
+        if let Some(p) = &self.project {
+            push_rel(&mut out, "project", p);
+        }
+        if !self.environment.is_empty() {
+            out.push_str("(environment=");
+            for (k, v) in &self.environment {
+                out.push('(');
+                out.push_str(&quote(k));
+                out.push(' ');
+                out.push_str(&quote(v));
+                out.push(')');
+            }
+            out.push(')');
+        }
+        for f in &self.stage_in {
+            push_rel(&mut out, "stageIn", f);
+        }
+        for f in &self.stage_out {
+            push_rel(&mut out, "stageOut", f);
+        }
+        out
+    }
+
+    /// Parse RSL text back into a description.
+    pub fn parse(text: &str) -> Result<JobDescription, String> {
+        let mut p = Parser::new(text);
+        p.expect('&')?;
+        let mut jd = JobDescription::new("");
+        jd.max_wall_time = Duration::from_secs(3600);
+        let mut saw_exe = false;
+        let mut saw_walltime = false;
+        while p.peek() == Some('(') {
+            let (name, raw) = p.relation()?;
+            match name.as_str() {
+                "executable" => {
+                    jd.executable = one_token(&raw, "executable")?;
+                    saw_exe = true;
+                }
+                "arguments" => jd.arguments = raw.into_tokens()?,
+                "count" => {
+                    let t = one_token(&raw, "count")?;
+                    jd.count = t.parse::<u32>().map_err(|_| format!("bad count: {t}"))?;
+                }
+                "maxWallTime" => {
+                    let t = one_token(&raw, "maxWallTime")?;
+                    let mins: u64 = t.parse().map_err(|_| format!("bad maxWallTime: {t}"))?;
+                    jd.max_wall_time = Duration::from_secs(mins * 60);
+                    saw_walltime = true;
+                }
+                "queue" => jd.queue = Some(one_token(&raw, "queue")?),
+                "directory" => jd.directory = Some(one_token(&raw, "directory")?),
+                "stdout" => jd.stdout = Some(one_token(&raw, "stdout")?),
+                "stderr" => jd.stderr = Some(one_token(&raw, "stderr")?),
+                "project" => jd.project = Some(one_token(&raw, "project")?),
+                "environment" => jd.environment = raw.into_pairs()?,
+                "stageIn" => jd.stage_in.push(one_token(&raw, "stageIn")?),
+                "stageOut" => jd.stage_out.push(one_token(&raw, "stageOut")?),
+                other => return Err(format!("unknown attribute: {other}")),
+            }
+        }
+        p.skip_ws();
+        if !p.at_end() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        if !saw_exe {
+            return Err("missing executable".into());
+        }
+        let _ = saw_walltime; // optional; default stands
+        jd.validate()?;
+        Ok(jd)
+    }
+}
+
+impl fmt::Display for JobDescription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_rsl())
+    }
+}
+
+fn push_rel(out: &mut String, name: &str, value: &str) {
+    out.push('(');
+    out.push_str(name);
+    out.push('=');
+    out.push_str(&quote(value));
+    out.push(')');
+}
+
+/// Quote a value if it contains RSL metacharacters; `"` doubles inside
+/// quotes.
+fn quote(value: &str) -> String {
+    let needs = value.is_empty()
+        || value
+            .chars()
+            .any(|c| c.is_whitespace() || matches!(c, '(' | ')' | '=' | '&' | '"'));
+    if !needs {
+        return value.to_owned();
+    }
+    let mut s = String::with_capacity(value.len() + 2);
+    s.push('"');
+    for c in value.chars() {
+        if c == '"' {
+            s.push('"');
+        }
+        s.push(c);
+    }
+    s.push('"');
+    s
+}
+
+/// Raw right-hand side of a relation: a mix of bare/quoted tokens and
+/// parenthesized pairs, preserved until the attribute tells us the shape.
+enum RawValue {
+    Tokens(Vec<String>),
+    Pairs(Vec<(String, String)>),
+}
+
+impl RawValue {
+    fn into_tokens(self) -> Result<Vec<String>, String> {
+        match self {
+            RawValue::Tokens(t) => Ok(t),
+            RawValue::Pairs(_) => Err("expected tokens, found pair list".into()),
+        }
+    }
+
+    fn into_pairs(self) -> Result<Vec<(String, String)>, String> {
+        match self {
+            RawValue::Pairs(p) => Ok(p),
+            RawValue::Tokens(t) if t.is_empty() => Ok(Vec::new()),
+            RawValue::Tokens(_) => Err("expected pair list, found tokens".into()),
+        }
+    }
+}
+
+fn one_token(raw: &RawValue, attr: &str) -> Result<String, String> {
+    match raw {
+        RawValue::Tokens(t) if t.len() == 1 => Ok(t[0].clone()),
+        RawValue::Tokens(t) => Err(format!("{attr}: expected 1 token, found {}", t.len())),
+        RawValue::Pairs(_) => Err(format!("{attr}: expected token, found pair list")),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.bytes.get(self.pos).map(|&b| b as char)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&(c as u8)) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{c}' at byte {}", self.pos))
+        }
+    }
+
+    /// Parse `(name=value)` where value is tokens or a pair list.
+    fn relation(&mut self) -> Result<(String, RawValue), String> {
+        self.expect('(')?;
+        let name = self.bare_token()?;
+        self.expect('=')?;
+        self.skip_ws();
+        let value = if self.bytes.get(self.pos) == Some(&b'(') {
+            let mut pairs = Vec::new();
+            while self.peek() == Some('(') {
+                self.expect('(')?;
+                let k = self.any_token()?;
+                let v = self.any_token()?;
+                self.expect(')')?;
+                pairs.push((k, v));
+            }
+            RawValue::Pairs(pairs)
+        } else {
+            let mut toks = Vec::new();
+            while !matches!(self.peek(), Some(')') | None) {
+                toks.push(self.any_token()?);
+            }
+            RawValue::Tokens(toks)
+        };
+        self.expect(')')?;
+        Ok((name, value))
+    }
+
+    /// Unquoted identifier (attribute names).
+    fn bare_token(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|&b| {
+            !b.is_ascii_whitespace() && !matches!(b, b'(' | b')' | b'=' | b'"' | b'&')
+        }) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected token at byte {}", self.pos));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    /// Bare or quoted token.
+    fn any_token(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'"') {
+            self.pos += 1;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos) {
+                    Some(&b'"') => {
+                        if self.bytes.get(self.pos + 1) == Some(&b'"') {
+                            out.push('"');
+                            self.pos += 2;
+                        } else {
+                            self.pos += 1;
+                            return Ok(out);
+                        }
+                    }
+                    Some(&b) => {
+                        // Re-decode UTF-8 sequences byte-wise.
+                        let remaining = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(remaining)
+                            .map_err(|_| "invalid UTF-8 in quoted token".to_string())?;
+                        let ch = s.chars().next().expect("non-empty");
+                        let _ = b;
+                        out.push(ch);
+                        self.pos += ch.len_utf8();
+                    }
+                    None => return Err("unterminated quote".into()),
+                }
+            }
+        } else {
+            self.bare_token()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_desc() -> JobDescription {
+        let mut jd = JobDescription::new("/apps/solver")
+            .args(["--grid", "100 x 100", "--eps=1e-6"])
+            .cores(16)
+            .walltime(Duration::from_secs(7200))
+            .on_queue("normal")
+            .capture_stdout("solver.out")
+            .stage_in_file("mesh.dat")
+            .stage_out_file("result.h5");
+        jd.environment = vec![
+            ("OMP_NUM_THREADS".into(), "16".into()),
+            ("MODE".into(), "fast run".into()),
+        ];
+        jd.project = Some("TG-ABC123".into());
+        jd.directory = Some("/scratch/u1".into());
+        jd.stderr = Some("solver.err".into());
+        jd
+    }
+
+    #[test]
+    fn roundtrip_full() {
+        let jd = full_desc();
+        let text = jd.to_rsl();
+        let parsed = JobDescription::parse(&text).expect("parse");
+        assert_eq!(parsed, jd);
+    }
+
+    #[test]
+    fn roundtrip_minimal() {
+        let jd = JobDescription::new("a.out");
+        let parsed = JobDescription::parse(&jd.to_rsl()).unwrap();
+        assert_eq!(parsed, jd);
+    }
+
+    #[test]
+    fn serialized_shape_looks_like_rsl() {
+        let text = JobDescription::new("/bin/app").cores(4).to_rsl();
+        assert!(text.starts_with("&(executable=/bin/app)"), "{text}");
+        assert!(text.contains("(count=4)"));
+        assert!(text.contains("(maxWallTime=60)"));
+    }
+
+    #[test]
+    fn quoting_handles_spaces_parens_and_quotes() {
+        let jd = JobDescription::new("/bin/echo").args(["hello world", "(x=1)", "say \"hi\""]);
+        let parsed = JobDescription::parse(&jd.to_rsl()).unwrap();
+        assert_eq!(parsed.arguments, jd.arguments);
+    }
+
+    #[test]
+    fn parse_hand_written_rsl() {
+        let jd = JobDescription::parse(
+            "& (executable = /bin/date) (count = 2) (maxWallTime = 5) (queue = fast)",
+        )
+        .unwrap();
+        assert_eq!(jd.executable, "/bin/date");
+        assert_eq!(jd.count, 2);
+        assert_eq!(jd.max_wall_time, Duration::from_secs(300));
+        assert_eq!(jd.queue.as_deref(), Some("fast"));
+    }
+
+    #[test]
+    fn missing_executable_rejected() {
+        let err = JobDescription::parse("&(count=1)").unwrap_err();
+        assert!(err.contains("executable"), "{err}");
+    }
+
+    #[test]
+    fn bad_count_rejected() {
+        assert!(JobDescription::parse("&(executable=a)(count=zero)").is_err());
+        assert!(JobDescription::parse("&(executable=a)(count=0)").is_err());
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let err = JobDescription::parse("&(executable=a)(flavour=vanilla)").unwrap_err();
+        assert!(err.contains("unknown attribute"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = JobDescription::parse("&(executable=a) garbage").unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(JobDescription::parse("&(executable=\"a)").is_err());
+    }
+
+    #[test]
+    fn environment_pairs_roundtrip() {
+        let mut jd = JobDescription::new("x");
+        jd.environment = vec![("A".into(), "1".into()), ("B".into(), "two words".into())];
+        let parsed = JobDescription::parse(&jd.to_rsl()).unwrap();
+        assert_eq!(parsed.environment, jd.environment);
+    }
+
+    #[test]
+    fn empty_argument_preserved() {
+        let jd = JobDescription::new("x").args([""]);
+        let parsed = JobDescription::parse(&jd.to_rsl()).unwrap();
+        assert_eq!(parsed.arguments, vec![String::new()]);
+    }
+
+    #[test]
+    fn walltime_rounds_up_to_minutes() {
+        let jd = JobDescription::new("x").walltime(Duration::from_secs(90));
+        assert!(jd.to_rsl().contains("(maxWallTime=2)"));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate() {
+        assert!(JobDescription::new("").validate().is_err());
+        assert!(JobDescription::new("a").cores(0).validate().is_err());
+        assert!(JobDescription::new("a")
+            .walltime(Duration::ZERO)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn display_matches_to_rsl() {
+        let jd = JobDescription::new("a.out");
+        assert_eq!(format!("{jd}"), jd.to_rsl());
+    }
+
+    #[test]
+    fn unicode_in_quoted_values() {
+        let jd = JobDescription::new("x").args(["héllo wörld", "日本語"]);
+        let parsed = JobDescription::parse(&jd.to_rsl()).unwrap();
+        assert_eq!(parsed.arguments, jd.arguments);
+    }
+}

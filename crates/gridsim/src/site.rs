@@ -1,0 +1,389 @@
+//! A supercomputing centre: cluster + batch queue + storage + WAN links.
+//!
+//! Each [`GridSite`] bundles what the middleware sees of one TeraGrid
+//! centre: a [`ClusterScheduler`] behind a [`Gatekeeper`]
+//! (`crate::gram::Gatekeeper`), a GridFTP-like [`StorageService`], and the
+//! WAN path from the access layer (the Cyberaide appliance) to the site.
+//! The WAN bandwidth is the paper's dominant bottleneck: Figure 7 measures
+//! a steady 80–90 KB/s to a Grid node.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use simkit::{Duration, Host, HostSpec, Link, Sim, KB};
+
+use crate::error::GridError;
+use crate::gram::Gatekeeper;
+use crate::scheduler::{ClusterScheduler, SchedPolicy};
+use crate::security::CertAuthority;
+
+/// Static description of a site.
+#[derive(Clone, Debug)]
+pub struct SiteSpec {
+    /// Site name (metric prefix and broker key).
+    pub name: String,
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: u32,
+    /// Batch policy.
+    pub policy: SchedPolicy,
+    /// Storage capacity in bytes.
+    pub storage_capacity: f64,
+    /// Maximum walltime the queue accepts.
+    pub max_walltime: Duration,
+    /// WAN bandwidth from the access layer, bytes/s.
+    pub wan_bandwidth_bps: f64,
+    /// WAN one-way latency from the access layer.
+    pub wan_latency: Duration,
+}
+
+impl SiteSpec {
+    /// A mid-size centre with the paper's measured WAN characteristics
+    /// (~85 KB/s steady transfer rate, wide-area latency).
+    pub fn teragrid_like(name: &str, nodes: usize, cores_per_node: u32) -> SiteSpec {
+        SiteSpec {
+            name: name.to_owned(),
+            nodes,
+            cores_per_node,
+            policy: SchedPolicy::Backfill,
+            storage_capacity: 512.0 * 1024.0 * 1024.0 * 1024.0, // 512 GiB scratch
+            max_walltime: Duration::from_secs(48 * 3600),
+            wan_bandwidth_bps: 85.0 * KB,
+            wan_latency: Duration::from_millis(40),
+        }
+    }
+}
+
+/// GridFTP-like storage: logical files on the site's scratch filesystem.
+pub struct StorageService {
+    site: String,
+    files: HashMap<String, f64>,
+    capacity: f64,
+    used: f64,
+}
+
+impl StorageService {
+    fn new(site: &str, capacity: f64) -> Self {
+        StorageService {
+            site: site.to_owned(),
+            files: HashMap::new(),
+            capacity,
+            used: 0.0,
+        }
+    }
+
+    /// Register a file (capacity check only; disk timing is modelled by the
+    /// caller through the site host).
+    pub fn put(&mut self, name: &str, bytes: f64) -> Result<(), GridError> {
+        let replaced = self.files.get(name).copied().unwrap_or(0.0);
+        if self.used - replaced + bytes > self.capacity {
+            return Err(GridError::StorageFull {
+                site: self.site.clone(),
+            });
+        }
+        self.used += bytes - replaced;
+        self.files.insert(name.to_owned(), bytes);
+        Ok(())
+    }
+
+    /// Size of a stored file.
+    pub fn size_of(&self, name: &str) -> Option<f64> {
+        self.files.get(name).copied()
+    }
+
+    /// Whether `name` is staged.
+    pub fn has(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// Remove a file; returns its size if it existed.
+    pub fn delete(&mut self, name: &str) -> Option<f64> {
+        let bytes = self.files.remove(name);
+        if let Some(b) = bytes {
+            self.used -= b;
+        }
+        bytes
+    }
+
+    /// Bytes in use.
+    pub fn used(&self) -> f64 {
+        self.used
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of stored files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+/// One production-Grid site.
+pub struct GridSite {
+    spec: SiteSpec,
+    host: Rc<Host>,
+    scheduler: Rc<RefCell<ClusterScheduler>>,
+    storage: Rc<RefCell<StorageService>>,
+    gatekeeper: Rc<RefCell<Gatekeeper>>,
+    /// access layer → site
+    uplink: Rc<Link>,
+    /// site → access layer
+    downlink: Rc<Link>,
+}
+
+impl GridSite {
+    /// Build a site and its WAN links from the access-layer host named
+    /// `access_host`. `ca` is the Grid's trust root shared by all
+    /// gatekeepers.
+    pub fn new(spec: SiteSpec, access_host: &str, ca: Rc<RefCell<CertAuthority>>) -> Rc<GridSite> {
+        let host = Host::new(&HostSpec::grid_node(&spec.name));
+        let scheduler =
+            ClusterScheduler::new(&spec.name, spec.nodes, spec.cores_per_node, spec.policy);
+        let storage = Rc::new(RefCell::new(StorageService::new(
+            &spec.name,
+            spec.storage_capacity,
+        )));
+        let gatekeeper = Gatekeeper::new(
+            &spec.name,
+            ca,
+            Rc::clone(&scheduler),
+            Rc::clone(&storage),
+            Rc::clone(&host),
+            spec.max_walltime,
+        );
+        let uplink = Link::new(
+            &format!("wan.{}.up", spec.name),
+            access_host,
+            &spec.name,
+            spec.wan_bandwidth_bps,
+            spec.wan_latency,
+        );
+        let downlink = Link::new(
+            &format!("wan.{}.down", spec.name),
+            &spec.name,
+            access_host,
+            spec.wan_bandwidth_bps,
+            spec.wan_latency,
+        );
+        Rc::new(GridSite {
+            spec,
+            host,
+            scheduler,
+            storage,
+            gatekeeper,
+            uplink,
+            downlink,
+        })
+    }
+
+    /// The site name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Static description.
+    pub fn spec(&self) -> &SiteSpec {
+        &self.spec
+    }
+
+    /// The site's batch scheduler.
+    pub fn scheduler(&self) -> &Rc<RefCell<ClusterScheduler>> {
+        &self.scheduler
+    }
+
+    /// The site's storage service.
+    pub fn storage(&self) -> &Rc<RefCell<StorageService>> {
+        &self.storage
+    }
+
+    /// The site's gatekeeper.
+    pub fn gatekeeper(&self) -> &Rc<RefCell<Gatekeeper>> {
+        &self.gatekeeper
+    }
+
+    /// The site's front host (disk/CPU model).
+    pub fn host(&self) -> &Rc<Host> {
+        &self.host
+    }
+
+    /// WAN link access-layer → site.
+    pub fn uplink(&self) -> &Rc<Link> {
+        &self.uplink
+    }
+
+    /// WAN link site → access-layer.
+    pub fn downlink(&self) -> &Rc<Link> {
+        &self.downlink
+    }
+
+    /// Stage a file from the access layer into site storage: WAN transfer,
+    /// then a disk write on the site, then registration.
+    pub fn stage_in<F>(self: &Rc<Self>, sim: &mut Sim, name: &str, bytes: f64, done: F)
+    where
+        F: FnOnce(&mut Sim, Result<(), GridError>) + 'static,
+    {
+        let site = Rc::clone(self);
+        let name = name.to_owned();
+        self.uplink.transfer(sim, bytes, move |sim| {
+            let site2 = Rc::clone(&site);
+            let name2 = name.clone();
+            site.host.write_disk(sim, bytes, move |sim| {
+                let res = site2.storage.borrow_mut().put(&name2, bytes);
+                done(sim, res);
+            });
+        });
+    }
+
+    /// Fetch a stored file back to the access layer: site disk read, then
+    /// WAN transfer down. `done` receives the file size, or `None` if the
+    /// file does not exist (the paper's *tentative* output polling relies
+    /// on exactly this "not there yet" answer).
+    pub fn fetch<F>(self: &Rc<Self>, sim: &mut Sim, name: &str, done: F)
+    where
+        F: FnOnce(&mut Sim, Option<f64>) + 'static,
+    {
+        let bytes = self.storage.borrow().size_of(name);
+        match bytes {
+            None => {
+                // A metadata-only "no such file" reply still costs a WAN
+                // round trip worth of latency.
+                let delay = self.downlink.latency() + self.uplink.latency();
+                sim.schedule(delay, move |sim| done(sim, None));
+            }
+            Some(bytes) => {
+                let site = Rc::clone(self);
+                self.host.read_disk(sim, bytes, move |sim| {
+                    site.downlink.transfer(sim, bytes, move |sim| {
+                        done(sim, Some(bytes));
+                    });
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::MB;
+    use std::cell::Cell;
+
+    fn ca() -> Rc<RefCell<CertAuthority>> {
+        Rc::new(RefCell::new(CertAuthority::new("/CN=TestCA", 1)))
+    }
+
+    fn small_site() -> SiteSpec {
+        SiteSpec {
+            storage_capacity: 10.0 * MB,
+            ..SiteSpec::teragrid_like("siteA", 2, 4)
+        }
+    }
+
+    #[test]
+    fn storage_put_get_delete() {
+        let mut s = StorageService::new("x", 100.0);
+        s.put("a", 40.0).unwrap();
+        s.put("b", 60.0).unwrap();
+        assert_eq!(s.size_of("a"), Some(40.0));
+        assert!(s.has("b"));
+        assert_eq!(s.used(), 100.0);
+        assert_eq!(s.file_count(), 2);
+        assert_eq!(
+            s.put("c", 1.0),
+            Err(GridError::StorageFull { site: "x".into() })
+        );
+        assert_eq!(s.delete("a"), Some(40.0));
+        assert_eq!(s.used(), 60.0);
+        assert!(s.put("c", 40.0).is_ok());
+    }
+
+    #[test]
+    fn storage_replace_accounts_correctly() {
+        let mut s = StorageService::new("x", 100.0);
+        s.put("a", 80.0).unwrap();
+        // replacing with a smaller file frees space
+        s.put("a", 10.0).unwrap();
+        assert_eq!(s.used(), 10.0);
+        s.put("b", 90.0).unwrap();
+        assert_eq!(s.used(), 100.0);
+    }
+
+    #[test]
+    fn stage_in_takes_wan_time() {
+        let mut sim = Sim::new(0);
+        let site = GridSite::new(small_site(), "appliance", ca());
+        let at = Rc::new(Cell::new(-1.0));
+        let at2 = at.clone();
+        site.stage_in(&mut sim, "exe", 5.0 * MB, move |sim, res| {
+            res.unwrap();
+            at2.set(sim.now().as_secs_f64());
+        });
+        sim.run();
+        // 5 MB / 85 KB/s ≈ 60 s, the Figure 7 observation
+        assert!(at.get() > 58.0 && at.get() < 65.0, "staged at {}", at.get());
+        assert!(site.storage().borrow().has("exe"));
+    }
+
+    #[test]
+    fn stage_in_surfaces_storage_full() {
+        let mut sim = Sim::new(0);
+        let site = GridSite::new(small_site(), "appliance", ca());
+        let err = Rc::new(Cell::new(false));
+        let e2 = err.clone();
+        site.stage_in(&mut sim, "big", 11.0 * MB, move |_, res| {
+            e2.set(matches!(res, Err(GridError::StorageFull { .. })));
+        });
+        sim.run();
+        assert!(err.get());
+    }
+
+    #[test]
+    fn fetch_missing_file_is_fast_none() {
+        let mut sim = Sim::new(0);
+        let site = GridSite::new(small_site(), "appliance", ca());
+        let got = Rc::new(Cell::new(Some(1.0)));
+        let g2 = got.clone();
+        let at = Rc::new(Cell::new(-1.0));
+        let at2 = at.clone();
+        site.fetch(&mut sim, "nope", move |sim, r| {
+            g2.set(r);
+            at2.set(sim.now().as_secs_f64());
+        });
+        sim.run();
+        assert_eq!(got.get(), None);
+        // only latency, no bandwidth cost
+        assert!(at.get() < 0.2, "{}", at.get());
+    }
+
+    #[test]
+    fn fetch_existing_file_pays_bandwidth() {
+        let mut sim = Sim::new(0);
+        let site = GridSite::new(small_site(), "appliance", ca());
+        site.storage().borrow_mut().put("out", 850.0 * KB).unwrap();
+        let at = Rc::new(Cell::new(-1.0));
+        let at2 = at.clone();
+        site.fetch(&mut sim, "out", move |sim, r| {
+            assert_eq!(r, Some(850.0 * KB));
+            at2.set(sim.now().as_secs_f64());
+        });
+        sim.run();
+        assert!(at.get() > 9.5 && at.get() < 11.0, "{}", at.get());
+    }
+
+    #[test]
+    fn metrics_mirror_appliance_nic() {
+        let mut sim = Sim::new(0);
+        let site = GridSite::new(small_site(), "appliance", ca());
+        site.stage_in(&mut sim, "exe", 1.0 * MB, |_, r| r.unwrap());
+        sim.run();
+        let r = sim.recorder_ref();
+        assert!((r.total("appliance.net.out.bytes") - MB).abs() < 1.0);
+        assert!((r.total("siteA.net.in.bytes") - MB).abs() < 1.0);
+        assert!((r.total("siteA.disk.write.bytes") - MB).abs() < 1.0);
+    }
+}

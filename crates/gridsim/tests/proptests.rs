@@ -1,0 +1,130 @@
+//! Property-based invariants of the Grid substrate.
+
+use gridsim::scheduler::{ClusterScheduler, SchedPolicy, SchedRequest};
+use gridsim::{CertAuthority, JobDescription};
+use proptest::prelude::*;
+use simkit::{Duration, Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,24}").expect("regex")
+}
+
+fn arb_jd() -> impl Strategy<Value = JobDescription> {
+    (
+        proptest::string::string_regex("[a-zA-Z0-9_./-]{1,32}").expect("regex"),
+        proptest::collection::vec(arb_token(), 0..6),
+        1u32..128,
+        1u64..2880, // minutes
+        proptest::option::of(proptest::string::string_regex("[a-z]{1,10}").expect("regex")),
+        proptest::collection::vec(
+            (
+                proptest::string::string_regex("[A-Z_]{1,12}").expect("regex"),
+                arb_token(),
+            ),
+            0..4,
+        ),
+    )
+        .prop_map(|(exe, args, cores, mins, queue, env)| {
+            let mut jd = JobDescription::new(&exe)
+                .args(args)
+                .cores(cores)
+                .walltime(Duration::from_secs(mins * 60));
+            jd.queue = queue;
+            jd.environment = env;
+            jd
+        })
+}
+
+proptest! {
+    /// RSL serialization round-trips for arbitrary job descriptions.
+    #[test]
+    fn rsl_roundtrip(jd in arb_jd()) {
+        let text = jd.to_rsl();
+        let parsed = JobDescription::parse(&text);
+        prop_assert!(parsed.is_ok(), "parse failed on {}: {:?}", text, parsed.err());
+        prop_assert_eq!(parsed.unwrap(), jd);
+    }
+
+    /// Under any workload the scheduler never oversubscribes, never loses a
+    /// job, and drains completely.
+    #[test]
+    fn scheduler_conservation(
+        jobs in proptest::collection::vec((1u32..12, 1u64..40, 1u64..80, 0u64..50), 1..40),
+        backfill in any::<bool>(),
+    ) {
+        let policy = if backfill { SchedPolicy::Backfill } else { SchedPolicy::Fcfs };
+        let mut sim = Sim::new(11);
+        let sched = ClusterScheduler::new("p", 2, 6, policy);
+        let finished = Rc::new(RefCell::new(0usize));
+        let n = jobs.len();
+        for (cores, limit, runtime, arrive) in jobs {
+            let sc = sched.clone();
+            let fin = finished.clone();
+            sim.schedule(Duration::from_secs(arrive), move |sim| {
+                ClusterScheduler::submit(
+                    &sc,
+                    sim,
+                    SchedRequest {
+                        cores,
+                        walltime_limit: Duration::from_secs(limit),
+                        actual_runtime: Duration::from_secs(runtime),
+                    },
+                    move |_, _| { *fin.borrow_mut() += 1; },
+                );
+            });
+        }
+        // continuous oversubscription probe
+        for t in 0..200u64 {
+            let sc = sched.clone();
+            sim.schedule(Duration::from_secs(t), move |_| {
+                let s = sc.borrow();
+                assert!(s.free_cores() <= s.total_cores());
+            });
+        }
+        sim.run();
+        prop_assert_eq!(*finished.borrow(), n, "all jobs must terminate");
+        prop_assert_eq!(sched.borrow().running_count(), 0);
+        prop_assert_eq!(sched.borrow().queue_len(), 0);
+        prop_assert_eq!(sched.borrow().free_cores(), sched.borrow().total_cores());
+    }
+
+    /// A credential chain's validity is an interval: if it validates at two
+    /// instants it validates at every instant between them.
+    #[test]
+    fn proxy_validity_is_an_interval(
+        issue_life in 100u64..10_000,
+        d1 in 1u64..5_000,
+        d2 in 1u64..5_000,
+        probes in proptest::collection::vec(0u64..20_000, 1..20),
+    ) {
+        let mut ca = CertAuthority::new("/CN=CA", 9);
+        let cred = ca.issue("/CN=u", SimTime::ZERO, Duration::from_secs(issue_life));
+        let p = cred
+            .delegate(SimTime::from_secs(5), Duration::from_secs(d1))
+            .delegate(SimTime::from_secs(10), Duration::from_secs(d2));
+        let chain = p.proxy();
+        let valid_at = |t: u64| chain.validate(&ca, SimTime::from_secs(t), 8).is_ok();
+        let mut valid_ts: Vec<u64> = probes.iter().copied().filter(|&t| valid_at(t)).collect();
+        valid_ts.sort_unstable();
+        if let (Some(&lo), Some(&hi)) = (valid_ts.first(), valid_ts.last()) {
+            for t in [lo, (lo + hi) / 2, hi] {
+                prop_assert!(valid_at(t), "validity not an interval at {}", t);
+            }
+        }
+    }
+
+    /// estimate_wait is zero exactly when the request fits the idle
+    /// machine and the queue is empty.
+    #[test]
+    fn estimate_wait_zero_iff_fits(cores in 1u32..40) {
+        let sched = ClusterScheduler::new("w", 2, 8, SchedPolicy::Fcfs);
+        let w = sched.borrow().estimate_wait(SimTime::ZERO, cores);
+        if cores <= 16 {
+            prop_assert_eq!(w, Duration::ZERO);
+        } else {
+            prop_assert!(w > Duration::ZERO);
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Hosts and network links: the measured machines of the evaluation.
+//!
+//! A [`Host`] bundles a CPU (processor-sharing) and a disk (separate FIFO
+//! read/write channels) under one metric prefix — the quantities the paper's
+//! Figures 6–8 plot for the appliance machine. Networking is modelled by
+//! directed [`Link`]s: a link is a processor-sharing server whose capacity
+//! is the *path bottleneck* bandwidth; its traffic is mirrored into both
+//! endpoints' NIC series.
+//!
+//! Simplification (documented in DESIGN.md): per-host NIC capacity is not
+//! shared across multiple links — the experiments' bottleneck is always a
+//! single path (the 1 Gbit/s LAN or the ~85 KB/s WAN uplink), matching the
+//! paper's setup.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::engine::Sim;
+use crate::server::{FifoServer, FlowId, PsServer, ServerConfig, Share};
+use crate::time::Duration;
+
+/// Bytes in a kibibyte (the paper's "KB").
+pub const KB: f64 = 1024.0;
+/// Bytes in a mebibyte (the paper's "MB").
+pub const MB: f64 = 1024.0 * 1024.0;
+/// Bytes/s of a 1000 Mbit/s NIC (the portal test's LAN).
+pub const GBIT_PER_S: f64 = 1000.0 * 1000.0 * 1000.0 / 8.0;
+
+/// Physical description of a host.
+#[derive(Clone, Debug)]
+pub struct HostSpec {
+    /// Metric prefix, e.g. `"appliance"`.
+    pub name: String,
+    /// CPU capacity in core-seconds per second (1.0 = one core).
+    pub cpu_cores: f64,
+    /// Sequential disk read bandwidth, bytes/s.
+    pub disk_read_bps: f64,
+    /// Sequential disk write bandwidth, bytes/s.
+    pub disk_write_bps: f64,
+}
+
+impl HostSpec {
+    /// A 2010-era commodity server: a quad-core box (each task capped at
+    /// one core) with "a 'normal' hard disk" (§VIII-D) — ~45 MB/s
+    /// sequential reads, ~35 MB/s writes once filesystem overhead is in.
+    pub fn commodity(name: &str) -> Self {
+        HostSpec {
+            name: name.to_owned(),
+            cpu_cores: 4.0,
+            disk_read_bps: 45.0 * MB,
+            disk_write_bps: 35.0 * MB,
+        }
+    }
+
+    /// A compute node of a supercomputing centre: faster parallel
+    /// filesystem, more cores.
+    pub fn grid_node(name: &str) -> Self {
+        HostSpec {
+            name: name.to_owned(),
+            cpu_cores: 8.0,
+            disk_read_bps: 300.0 * MB,
+            disk_write_bps: 250.0 * MB,
+        }
+    }
+}
+
+/// A simulated machine: CPU + disk under one metric prefix.
+pub struct Host {
+    name: String,
+    cpu: Rc<RefCell<PsServer>>,
+    disk_read: Rc<RefCell<FifoServer>>,
+    disk_write: Rc<RefCell<FifoServer>>,
+}
+
+impl Host {
+    /// Build a host from its spec. Metric keys:
+    /// `<name>.cpu.busy`, `<name>.disk.read.bytes`, `<name>.disk.write.bytes`
+    /// (+ `.busy` variants for the disk channels).
+    pub fn new(spec: &HostSpec) -> Rc<Host> {
+        let n = &spec.name;
+        Rc::new(Host {
+            name: n.clone(),
+            cpu: PsServer::new(ServerConfig::with_keys(
+                spec.cpu_cores,
+                vec![format!("{n}.cpu.busy")],
+                Vec::new(),
+            )),
+            disk_read: FifoServer::new(ServerConfig::with_keys(
+                spec.disk_read_bps,
+                vec![format!("{n}.disk.read.busy")],
+                vec![format!("{n}.disk.read.bytes")],
+            )),
+            disk_write: FifoServer::new(ServerConfig::with_keys(
+                spec.disk_write_bps,
+                vec![format!("{n}.disk.write.busy")],
+                vec![format!("{n}.disk.write.bytes")],
+            )),
+        })
+    }
+
+    /// The metric prefix.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Burn `cpu_seconds` of compute, then call `done`. A single task is a
+    /// single thread: it is capped at one core, so concurrency — not one
+    /// hot request — is what drives multi-core utilization.
+    pub fn compute<F>(&self, sim: &mut Sim, cpu_seconds: f64, done: F) -> FlowId
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        PsServer::submit_with(&self.cpu, sim, cpu_seconds, Share::capped(1.0), done)
+    }
+
+    /// Read `bytes` from the local disk, then call `done`.
+    pub fn read_disk<F>(&self, sim: &mut Sim, bytes: f64, done: F) -> FlowId
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        FifoServer::submit(&self.disk_read, sim, bytes, done)
+    }
+
+    /// Write `bytes` to the local disk, then call `done`.
+    pub fn write_disk<F>(&self, sim: &mut Sim, bytes: f64, done: F) -> FlowId
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        FifoServer::submit(&self.disk_write, sim, bytes, done)
+    }
+
+    /// Direct access to the CPU server (for weighted/capped submissions).
+    pub fn cpu(&self) -> &Rc<RefCell<PsServer>> {
+        &self.cpu
+    }
+
+    /// Direct access to the disk read channel.
+    pub fn disk_read(&self) -> &Rc<RefCell<FifoServer>> {
+        &self.disk_read
+    }
+
+    /// Direct access to the disk write channel.
+    pub fn disk_write(&self) -> &Rc<RefCell<FifoServer>> {
+        &self.disk_write
+    }
+}
+
+/// A directed network path between two hosts.
+///
+/// Capacity is the path's bottleneck bandwidth; all concurrent transfers on
+/// the link share it TCP-like (processor sharing). `latency` is the one-way
+/// propagation delay added to every delivery — it dominates the many small
+/// control messages (SOAP calls, credential checks) while bandwidth
+/// dominates file staging.
+pub struct Link {
+    name: String,
+    server: Rc<RefCell<PsServer>>,
+    latency: Duration,
+}
+
+impl Link {
+    /// Create a directed link `src → dst`. Bytes are mirrored into
+    /// `<link>.bytes`, `<src>.net.out.bytes` and `<dst>.net.in.bytes`.
+    pub fn new(
+        name: &str,
+        src: &str,
+        dst: &str,
+        bandwidth_bps: f64,
+        latency: Duration,
+    ) -> Rc<Link> {
+        Rc::new(Link {
+            name: name.to_owned(),
+            server: PsServer::new(ServerConfig::with_keys(
+                bandwidth_bps,
+                vec![format!("{name}.busy")],
+                vec![
+                    format!("{name}.bytes"),
+                    format!("{src}.net.out.bytes"),
+                    format!("{dst}.net.in.bytes"),
+                ],
+            )),
+            latency,
+        })
+    }
+
+    /// The link name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// One-way propagation delay.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// Bottleneck bandwidth in bytes/s.
+    pub fn bandwidth(&self) -> f64 {
+        self.server.borrow().capacity()
+    }
+
+    /// Transfer `bytes` over the link; `done` fires at delivery (after the
+    /// fair-shared transmission plus propagation latency).
+    pub fn transfer<F>(&self, sim: &mut Sim, bytes: f64, done: F) -> FlowId
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        self.transfer_with(sim, bytes, Share::default(), done)
+    }
+
+    /// Transfer with an explicit per-flow rate cap / weight.
+    pub fn transfer_with<F>(&self, sim: &mut Sim, bytes: f64, share: Share, done: F) -> FlowId
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        let latency = self.latency;
+        PsServer::submit_with(&self.server, sim, bytes, share, move |sim| {
+            sim.schedule(latency, done);
+        })
+    }
+
+    /// Cancel an in-flight transfer (delivery callback is dropped).
+    pub fn cancel(&self, sim: &mut Sim, id: FlowId) -> bool {
+        PsServer::cancel(&self.server, sim, id)
+    }
+
+    /// Degrade or upgrade the link at runtime.
+    pub fn set_bandwidth(&self, sim: &mut Sim, bandwidth_bps: f64) {
+        PsServer::set_capacity(&self.server, sim, bandwidth_bps);
+    }
+
+    /// Number of concurrent transfers currently on the link.
+    pub fn active(&self) -> usize {
+        self.server.borrow().active()
+    }
+}
+
+/// A bidirectional connection: a pair of directed links.
+pub struct Duplex {
+    /// `a → b` direction.
+    pub forward: Rc<Link>,
+    /// `b → a` direction.
+    pub backward: Rc<Link>,
+}
+
+impl Duplex {
+    /// Symmetric duplex path between two named hosts.
+    pub fn new(name: &str, a: &str, b: &str, bandwidth_bps: f64, latency: Duration) -> Duplex {
+        Duplex {
+            forward: Link::new(&format!("{name}.fwd"), a, b, bandwidth_bps, latency),
+            backward: Link::new(&format!("{name}.rev"), b, a, bandwidth_bps, latency),
+        }
+    }
+
+    /// Request/response round trip: send `req_bytes` forward, let the remote
+    /// side spend `remote_cpu` seconds on `remote_host`, send `resp_bytes`
+    /// back, then call `done`. This is the shape of every SOAP/security
+    /// exchange in the reproduction.
+    pub fn round_trip<F>(
+        &self,
+        sim: &mut Sim,
+        remote_host: Rc<Host>,
+        req_bytes: f64,
+        remote_cpu: f64,
+        resp_bytes: f64,
+        done: F,
+    ) where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        let back = self.backward.clone();
+        self.forward.transfer(sim, req_bytes, move |sim| {
+            remote_host.compute(sim, remote_cpu, move |sim| {
+                back.transfer(sim, resp_bytes, done);
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use std::cell::Cell;
+
+    #[test]
+    fn host_metric_keys_use_prefix() {
+        let mut sim = Sim::new(0);
+        let host = Host::new(&HostSpec::commodity("portal"));
+        host.compute(&mut sim, 2.0, |_| {});
+        host.write_disk(&mut sim, 10.0 * MB, |_| {});
+        sim.run();
+        // 2 cpu-seconds on a 4-core box = 0.5 utilization-seconds
+        assert!(sim.recorder_ref().total("portal.cpu.busy") > 0.45);
+        assert!((sim.recorder_ref().total("portal.disk.write.bytes") - 10.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn link_transfer_time_is_bytes_over_bandwidth_plus_latency() {
+        let mut sim = Sim::new(0);
+        let link = Link::new("wan", "app", "grid", 85.0 * KB, Duration::from_millis(50));
+        let done_at = Rc::new(Cell::new(0.0));
+        let d = done_at.clone();
+        link.transfer(&mut sim, 5.0 * MB, move |sim| d.set(sim.now().as_secs_f64()));
+        sim.run();
+        let expect = 5.0 * MB / (85.0 * KB) + 0.05;
+        assert!(
+            (done_at.get() - expect).abs() < 0.01,
+            "got {} want {expect}",
+            done_at.get()
+        );
+        // ~60 seconds, the paper's Figure 7 observation
+        assert!(done_at.get() > 55.0 && done_at.get() < 65.0);
+    }
+
+    #[test]
+    fn link_mirrors_bytes_to_both_endpoints() {
+        let mut sim = Sim::new(0);
+        let link = Link::new("lan", "client", "portal", GBIT_PER_S, Duration::from_millis(1));
+        link.transfer(&mut sim, 1.0 * MB, |_| {});
+        sim.run();
+        let r = sim.recorder_ref();
+        assert!((r.total("lan.bytes") - MB).abs() < 1.0);
+        assert!((r.total("client.net.out.bytes") - MB).abs() < 1.0);
+        assert!((r.total("portal.net.in.bytes") - MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn concurrent_transfers_share_the_link() {
+        let mut sim = Sim::new(0);
+        let link = Link::new("wan", "a", "b", 100.0 * KB, Duration::ZERO);
+        let times: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..2 {
+            let t = times.clone();
+            link.transfer(&mut sim, 100.0 * KB, move |sim| {
+                t.borrow_mut().push(sim.now().as_secs_f64());
+            });
+        }
+        sim.run();
+        // two equal flows: both take 2 s instead of 1 s
+        for &t in times.borrow().iter() {
+            assert!((t - 2.0).abs() < 1e-3, "t={t}");
+        }
+    }
+
+    #[test]
+    fn duplex_round_trip_accumulates_all_legs() {
+        let mut sim = Sim::new(0);
+        let remote = Host::new(&HostSpec::commodity("remote"));
+        let dx = Duplex::new("path", "local", "remote", 100.0 * KB, Duration::from_millis(100));
+        let done_at = Rc::new(Cell::new(0.0));
+        let d = done_at.clone();
+        dx.round_trip(
+            &mut sim,
+            remote,
+            50.0 * KB,
+            0.5,
+            10.0 * KB,
+            move |sim| d.set(sim.now().as_secs_f64()),
+        );
+        sim.run();
+        // 0.5s send + 0.1 lat + 0.5 cpu + 0.1s send + 0.1 lat = 1.3
+        assert!((done_at.get() - 1.3).abs() < 0.01, "got {}", done_at.get());
+    }
+
+    #[test]
+    fn disk_channels_are_independent() {
+        let mut sim = Sim::new(0);
+        let host = Host::new(&HostSpec::commodity("h"));
+        let r_done = Rc::new(Cell::new(0.0));
+        let w_done = Rc::new(Cell::new(0.0));
+        let (r2, w2) = (r_done.clone(), w_done.clone());
+        host.read_disk(&mut sim, 45.0 * MB, move |sim| r2.set(sim.now().as_secs_f64()));
+        host.write_disk(&mut sim, 35.0 * MB, move |sim| w2.set(sim.now().as_secs_f64()));
+        sim.run();
+        assert!((r_done.get() - 1.0).abs() < 1e-3);
+        assert!((w_done.get() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn set_bandwidth_degrades_in_flight_transfer() {
+        let mut sim = Sim::new(0);
+        let link = Link::new("l", "a", "b", 100.0, Duration::ZERO);
+        let done_at = Rc::new(Cell::new(0.0));
+        let d = done_at.clone();
+        link.transfer(&mut sim, 1000.0, move |sim| d.set(sim.now().as_secs_f64()));
+        let l2 = Rc::new(link);
+        let l3 = l2.clone();
+        sim.schedule_at(SimTime::from_secs(5), move |sim| {
+            l3.set_bandwidth(sim, 25.0);
+        });
+        sim.run();
+        // 500 bytes in 5 s, then 500 at 25 B/s → 25 s total
+        assert!((done_at.get() - 25.0).abs() < 1e-2, "got {}", done_at.get());
+    }
+}

@@ -1,0 +1,312 @@
+//! Bucketed time-series metric recording.
+//!
+//! The paper's evaluation plots CPU utilization, network I/O and disk I/O
+//! sampled at 3-second intervals (Figures 6–8). The [`Recorder`] reproduces
+//! that measurement model: every metric is a named series of fixed-width
+//! buckets into which point amounts (bytes written at an instant) or span
+//! amounts (busy-seconds accumulated over an interval) are accumulated.
+//! Rendering the rows of a series *is* regenerating one curve of a figure.
+
+use std::collections::BTreeMap;
+
+use crate::time::{Duration, SimTime};
+
+/// One named, bucketed series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    interval: Duration,
+    buckets: Vec<f64>,
+}
+
+impl Series {
+    fn new(interval: Duration) -> Self {
+        Series {
+            interval,
+            buckets: Vec::new(),
+        }
+    }
+
+    fn bucket_index(&self, t: SimTime) -> usize {
+        (t.ticks() / self.interval.ticks().max(1)) as usize
+    }
+
+    fn grow_to(&mut self, idx: usize) {
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+    }
+
+    fn add_point(&mut self, t: SimTime, amount: f64) {
+        let idx = self.bucket_index(t);
+        self.grow_to(idx);
+        self.buckets[idx] += amount;
+    }
+
+    fn add_span(&mut self, t0: SimTime, t1: SimTime, amount: f64) {
+        if t1 <= t0 || amount == 0.0 {
+            if amount != 0.0 {
+                self.add_point(t0, amount);
+            }
+            return;
+        }
+        let span = (t1 - t0).as_secs_f64();
+        let first = self.bucket_index(t0);
+        let last = self.bucket_index(SimTime::from_ticks(t1.ticks().saturating_sub(1)));
+        self.grow_to(last);
+        let iv = self.interval.as_secs_f64();
+        for idx in first..=last {
+            let b_start = idx as f64 * iv;
+            let b_end = b_start + iv;
+            let overlap =
+                (t1.as_secs_f64().min(b_end) - t0.as_secs_f64().max(b_start)).max(0.0);
+            self.buckets[idx] += amount * overlap / span;
+        }
+    }
+
+    /// Bucket width.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Raw accumulated bucket values.
+    pub fn buckets(&self) -> &[f64] {
+        &self.buckets
+    }
+
+    /// `(bucket_start_seconds, value)` rows — the series as a figure plots it.
+    pub fn rows(&self) -> Vec<(f64, f64)> {
+        let iv = self.interval.as_secs_f64();
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64 * iv, v))
+            .collect()
+    }
+
+    /// `(bucket_start_seconds, value / bucket_width)` rows: converts an
+    /// accumulated quantity into a rate (bytes → bytes/s, busy-seconds →
+    /// utilization fraction).
+    pub fn rate_rows(&self) -> Vec<(f64, f64)> {
+        let iv = self.interval.as_secs_f64();
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64 * iv, v / iv))
+            .collect()
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> f64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Largest bucket value (0 for an empty series).
+    pub fn max(&self) -> f64 {
+        self.buckets.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Index of the largest bucket (`None` for an empty series).
+    pub fn argmax(&self) -> Option<usize> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for (i, &v) in self.buckets.iter().enumerate() {
+            if v > self.buckets[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Indices of local maxima strictly above `threshold` — used by tests to
+    /// check figure shapes ("two disk-write peaks", "periodic polling
+    /// writes").
+    pub fn peaks(&self, threshold: f64) -> Vec<usize> {
+        let b = &self.buckets;
+        let mut out = Vec::new();
+        for i in 0..b.len() {
+            if b[i] <= threshold {
+                continue;
+            }
+            let left = if i == 0 { 0.0 } else { b[i - 1] };
+            let right = if i + 1 == b.len() { 0.0 } else { b[i + 1] };
+            if b[i] >= left && b[i] > right || b[i] > left && b[i] >= right {
+                out.push(i);
+            }
+        }
+        out
+    }
+}
+
+/// Accumulates all metric series for a simulation run.
+///
+/// Keys are dotted paths, e.g. `"appliance.net.out"` or `"grid-node.cpu"`.
+/// `BTreeMap` keeps report output deterministically ordered.
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    interval: Duration,
+    series: BTreeMap<String, Series>,
+}
+
+impl Recorder {
+    /// New recorder with the given bucket width.
+    pub fn new(interval: Duration) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be nonzero");
+        Recorder {
+            interval,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Bucket width used by every series.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    fn entry(&mut self, key: &str) -> &mut Series {
+        let interval = self.interval;
+        self.series
+            .entry(key.to_owned())
+            .or_insert_with(|| Series::new(interval))
+    }
+
+    /// Accumulate `amount` into the bucket containing instant `t`.
+    pub fn add_point(&mut self, key: &str, t: SimTime, amount: f64) {
+        self.entry(key).add_point(t, amount);
+    }
+
+    /// Distribute `amount` over `[t0, t1)` proportionally to bucket overlap.
+    /// A degenerate span collapses to a point at `t0`.
+    pub fn add_span(&mut self, key: &str, t0: SimTime, t1: SimTime, amount: f64) {
+        self.entry(key).add_span(t0, t1, amount);
+    }
+
+    /// Look up a series.
+    pub fn series(&self, key: &str) -> Option<&Series> {
+        self.series.get(key)
+    }
+
+    /// Series total, or 0.0 when absent.
+    pub fn total(&self, key: &str) -> f64 {
+        self.series.get(key).map_or(0.0, Series::total)
+    }
+
+    /// All keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Keys sharing a prefix (e.g. every metric of one host).
+    pub fn keys_with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> {
+        self.keys().filter(move |k| k.starts_with(prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> Recorder {
+        Recorder::new(Duration::from_secs(3))
+    }
+
+    #[test]
+    fn point_lands_in_right_bucket() {
+        let mut r = rec();
+        r.add_point("x", SimTime::from_secs(7), 5.0);
+        let s = r.series("x").unwrap();
+        assert_eq!(s.buckets(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn points_accumulate() {
+        let mut r = rec();
+        r.add_point("x", SimTime::from_secs(1), 2.0);
+        r.add_point("x", SimTime::from_secs(2), 3.0);
+        assert_eq!(r.series("x").unwrap().buckets(), &[5.0]);
+        assert_eq!(r.total("x"), 5.0);
+    }
+
+    #[test]
+    fn span_splits_proportionally() {
+        let mut r = rec();
+        // [2s, 8s) over 3s buckets: 1s in bucket0, 3s in bucket1, 2s in bucket2
+        r.add_span("x", SimTime::from_secs(2), SimTime::from_secs(8), 6.0);
+        let b = r.series("x").unwrap().buckets();
+        assert!((b[0] - 1.0).abs() < 1e-9, "{b:?}");
+        assert!((b[1] - 3.0).abs() < 1e-9, "{b:?}");
+        assert!((b[2] - 2.0).abs() < 1e-9, "{b:?}");
+    }
+
+    #[test]
+    fn span_conserves_total() {
+        let mut r = rec();
+        r.add_span("x", SimTime::from_secs_f64(1.7), SimTime::from_secs_f64(13.2), 42.0);
+        assert!((r.total("x") - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_span_is_a_point() {
+        let mut r = rec();
+        r.add_span("x", SimTime::from_secs(4), SimTime::from_secs(4), 9.0);
+        assert_eq!(r.series("x").unwrap().buckets(), &[0.0, 9.0]);
+    }
+
+    #[test]
+    fn span_within_one_bucket() {
+        let mut r = rec();
+        r.add_span("x", SimTime::from_secs_f64(0.5), SimTime::from_secs_f64(1.5), 4.0);
+        assert_eq!(r.series("x").unwrap().buckets(), &[4.0]);
+    }
+
+    #[test]
+    fn rate_rows_divide_by_interval() {
+        let mut r = rec();
+        r.add_point("x", SimTime::from_secs(0), 6.0);
+        let rows = r.series("x").unwrap().rate_rows();
+        assert_eq!(rows, vec![(0.0, 2.0)]);
+    }
+
+    #[test]
+    fn rows_give_bucket_starts() {
+        let mut r = rec();
+        r.add_point("x", SimTime::from_secs(7), 1.0);
+        let rows = r.series("x").unwrap().rows();
+        assert_eq!(rows, vec![(0.0, 0.0), (3.0, 0.0), (6.0, 1.0)]);
+    }
+
+    #[test]
+    fn peaks_finds_local_maxima() {
+        let mut s = Series::new(Duration::from_secs(1));
+        for (i, v) in [0.0, 5.0, 1.0, 0.0, 7.0, 2.0, 0.0, 3.0].iter().enumerate() {
+            s.add_point(SimTime::from_secs(i as u64), *v);
+        }
+        assert_eq!(s.peaks(0.5), vec![1, 4, 7]);
+        assert_eq!(s.peaks(4.0), vec![1, 4]);
+        assert_eq!(s.argmax(), Some(4));
+    }
+
+    #[test]
+    fn missing_series_total_is_zero() {
+        let r = rec();
+        assert_eq!(r.total("nope"), 0.0);
+        assert!(r.series("nope").is_none());
+    }
+
+    #[test]
+    fn prefix_filtering() {
+        let mut r = rec();
+        r.add_point("host.cpu", SimTime::ZERO, 1.0);
+        r.add_point("host.disk", SimTime::ZERO, 1.0);
+        r.add_point("other.cpu", SimTime::ZERO, 1.0);
+        let keys: Vec<_> = r.keys_with_prefix("host.").collect();
+        assert_eq!(keys, vec!["host.cpu", "host.disk"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling interval")]
+    fn zero_interval_rejected() {
+        let _ = Recorder::new(Duration::ZERO);
+    }
+}

@@ -1,0 +1,220 @@
+//! Virtual time: instants and durations with microsecond resolution.
+//!
+//! All simulation timing uses integral microseconds so that event ordering
+//! is exact and runs are reproducible across platforms; floating-point
+//! seconds only appear at the edges (rate computations, report rendering).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Microseconds per second, the internal tick resolution.
+pub const TICKS_PER_SEC: u64 = 1_000_000;
+
+/// An instant on the virtual clock (microseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time (microseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl SimTime {
+    /// Simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The latest representable instant; used as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Instant from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimTime(secs * TICKS_PER_SEC)
+    }
+
+    /// Instant from fractional seconds (saturating at zero for negatives).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime((secs.max(0.0) * TICKS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw microsecond tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Instant from raw microsecond ticks.
+    pub fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// This instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// Span from an earlier instant to this one; zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+    /// Largest representable span; used as an "infinite timeout" sentinel.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Span from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        Duration(secs * TICKS_PER_SEC)
+    }
+
+    /// Span from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Duration(ms * (TICKS_PER_SEC / 1000))
+    }
+
+    /// Span from whole microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+
+    /// Span from fractional seconds (negative clamps to zero).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Duration((secs.max(0.0) * TICKS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw microsecond tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// This span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// True for the zero span.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Integer-scaled span (`self * n`), saturating.
+    pub fn saturating_mul(self, n: u64) -> Duration {
+        Duration(self.0.saturating_mul(n))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<Duration> for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(5).as_secs_f64(), 5.0);
+        assert_eq!(Duration::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(Duration::from_micros(7).ticks(), 7);
+        assert_eq!(Duration::from_secs_f64(0.25), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn negative_f64_clamps_to_zero() {
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+        assert_eq!(SimTime::from_secs_f64(-0.5), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + Duration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(t - SimTime::from_secs(9), Duration::from_secs(6));
+        // saturating subtraction: earlier.since(later) is zero
+        assert_eq!(SimTime::from_secs(1).since(SimTime::from_secs(2)), Duration::ZERO);
+    }
+
+    #[test]
+    fn saturation_at_max() {
+        assert_eq!(SimTime::MAX + Duration::from_secs(1), SimTime::MAX);
+        assert_eq!(Duration::MAX + Duration::from_secs(1), Duration::MAX);
+        assert_eq!(Duration::MAX.saturating_mul(3), Duration::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(Duration::from_millis(999) < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_millis_for_test(1234)), "1.234s");
+        assert_eq!(format!("{}", Duration::from_millis(250)), "0.250s");
+    }
+
+    impl SimTime {
+        fn from_millis_for_test(ms: u64) -> SimTime {
+            SimTime::ZERO + Duration::from_millis(ms)
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based invariants of the simulation kernel.
+
+use proptest::prelude::*;
+use simkit::server::{PsServer, ServerConfig, Share};
+use simkit::{Duration, FifoServer, Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// The clock never moves backwards and same-time events keep FIFO
+    /// order, for any schedule.
+    #[test]
+    fn event_order_is_time_then_fifo(delays in proptest::collection::vec(0u64..1000, 1..60)) {
+        let mut sim = Sim::new(0);
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (idx, &d) in delays.iter().enumerate() {
+            let log = log.clone();
+            sim.schedule(Duration::from_millis(d), move |sim| {
+                log.borrow_mut().push((sim.now().ticks(), idx));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), delays.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO broken for simultaneous events");
+            }
+        }
+    }
+
+    /// Processor sharing conserves work: the throughput metric equals the
+    /// total injected work once all flows complete, for any flow set.
+    #[test]
+    fn ps_server_conserves_work(
+        works in proptest::collection::vec(1.0f64..50_000.0, 1..20),
+        capacity in 10.0f64..10_000.0,
+    ) {
+        let mut sim = Sim::new(1);
+        let server = PsServer::new(ServerConfig::named("s", capacity));
+        let done = Rc::new(RefCell::new(0usize));
+        for &w in &works {
+            let d = done.clone();
+            PsServer::submit(&server, &mut sim, w, move |_| {
+                *d.borrow_mut() += 1;
+            });
+        }
+        sim.run();
+        prop_assert_eq!(*done.borrow(), works.len());
+        let total: f64 = works.iter().sum();
+        let served = sim.recorder_ref().total("s.bytes");
+        prop_assert!((served - total).abs() < 1e-3 * total.max(1.0),
+            "served {} vs injected {}", served, total);
+    }
+
+    /// PS completion time of the *last* flow is exactly total/capacity for
+    /// simultaneously submitted flows (work conservation in time).
+    #[test]
+    fn ps_makespan_is_total_over_capacity(
+        works in proptest::collection::vec(1.0f64..10_000.0, 1..15),
+    ) {
+        let capacity = 100.0;
+        let mut sim = Sim::new(2);
+        let server = PsServer::new(ServerConfig::silent(capacity));
+        for &w in &works {
+            PsServer::submit(&server, &mut sim, w, |_| {});
+        }
+        sim.run();
+        let expect = works.iter().sum::<f64>() / capacity;
+        let got = sim.now().as_secs_f64();
+        prop_assert!((got - expect).abs() < 1e-3 + 1e-6 * expect,
+            "makespan {} vs {}", got, expect);
+    }
+
+    /// Rate caps never make a flow finish *earlier* than its cap allows,
+    /// and never later than sequential service of everything.
+    #[test]
+    fn ps_cap_bounds_completion(
+        work in 100.0f64..10_000.0,
+        cap_frac in 0.05f64..1.0,
+    ) {
+        let capacity = 1000.0;
+        let cap = capacity * cap_frac;
+        let mut sim = Sim::new(3);
+        let server = PsServer::new(ServerConfig::silent(capacity));
+        let t = Rc::new(RefCell::new(0.0));
+        let t2 = t.clone();
+        PsServer::submit_with(&server, &mut sim, work, Share::capped(cap), move |sim| {
+            *t2.borrow_mut() = sim.now().as_secs_f64();
+        });
+        sim.run();
+        let lower = work / cap;
+        prop_assert!(*t.borrow() >= lower - 1e-3, "{} < {}", t.borrow(), lower);
+        prop_assert!(*t.borrow() <= lower + 1e-2, "{} > {}", t.borrow(), lower);
+    }
+
+    /// FIFO serves in submission order regardless of job sizes.
+    #[test]
+    fn fifo_completion_order_is_submission_order(
+        works in proptest::collection::vec(1.0f64..5_000.0, 1..20),
+    ) {
+        let mut sim = Sim::new(4);
+        let disk = FifoServer::new(ServerConfig::silent(500.0));
+        let order: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &w) in works.iter().enumerate() {
+            let o = order.clone();
+            FifoServer::submit(&disk, &mut sim, w, move |_| {
+                o.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        let expected: Vec<usize> = (0..works.len()).collect();
+        prop_assert_eq!(order.borrow().clone(), expected);
+    }
+
+    /// add_span conserves the amount for arbitrary spans and intervals.
+    #[test]
+    fn recorder_span_conservation(
+        t0 in 0u64..1_000_000,
+        len in 1u64..1_000_000,
+        amount in 0.001f64..1e9,
+        interval_ms in 1u64..10_000,
+    ) {
+        let mut rec = simkit::Recorder::new(Duration::from_millis(interval_ms));
+        let a = SimTime::from_ticks(t0);
+        let b = SimTime::from_ticks(t0 + len);
+        rec.add_span("x", a, b, amount);
+        let total = rec.total("x");
+        prop_assert!((total - amount).abs() < 1e-9 * amount.max(1.0) + 1e-9,
+            "{} vs {}", total, amount);
+    }
+
+    /// Summaries are order-invariant and bounded by min/max.
+    #[test]
+    fn summary_properties(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s1 = simkit::stats::summarize(&xs);
+        xs.reverse();
+        let s2 = simkit::stats::summarize(&xs);
+        prop_assert_eq!(s1, s2);
+        prop_assert!(s1.min <= s1.p50 && s1.p50 <= s1.p95 && s1.p95 <= s1.max);
+        prop_assert!(s1.mean >= s1.min - 1e-9 && s1.mean <= s1.max + 1e-9);
+    }
+
+    /// The RNG's `below` is always in range and `range` hits both ends
+    /// eventually (smoke-level distribution sanity).
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1000) {
+        let mut rng = simkit::Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+            let x = rng.range_f64(-2.0, 3.0);
+            prop_assert!((-2.0..3.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Building appliance images on demand.
+//!
+//! "The Cyberaide onServe virtual appliance is deployed on demand" (§I);
+//! before that, the image must exist. [`build_image`] models the rBuilder
+//! pipeline: fetch base + packages over a repository link, burn build CPU
+//! on the builder host, write the image file.
+
+use std::rc::Rc;
+
+use simkit::{Host, Link, Sim};
+
+use crate::recipe::ApplianceRecipe;
+
+/// A built, deployable image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ApplianceImage {
+    /// Appliance name (from the recipe).
+    pub name: String,
+    /// Image size in bytes.
+    pub bytes: f64,
+    /// Services the image starts at boot.
+    pub boot_services: Vec<String>,
+    /// Fingerprint of the recipe this image was built from.
+    pub recipe_fingerprint: u64,
+}
+
+/// Build `recipe` on `builder`: download over `repo_link` (repository →
+/// builder), compile/install, write the image. `done` receives the image.
+pub fn build_image<F>(
+    sim: &mut Sim,
+    builder: &Rc<Host>,
+    repo_link: &Rc<Link>,
+    recipe: &ApplianceRecipe,
+    done: F,
+) where
+    F: FnOnce(&mut Sim, ApplianceImage) + 'static,
+{
+    let image = ApplianceImage {
+        name: recipe.name.clone(),
+        bytes: recipe.image_bytes(),
+        boot_services: recipe.boot_services.clone(),
+        recipe_fingerprint: recipe.fingerprint(),
+    };
+    let downloads = recipe.download_bytes();
+    let build_cpu = recipe.build_cpu_secs();
+    let builder = Rc::clone(builder);
+    repo_link.transfer(sim, downloads, move |sim| {
+        let builder2 = Rc::clone(&builder);
+        builder.compute(sim, build_cpu, move |sim| {
+            let bytes = image.bytes;
+            builder2.write_disk(sim, bytes, move |sim| {
+                done(sim, image);
+            });
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::{Duration, HostSpec, GBIT_PER_S, MB};
+    use std::cell::Cell;
+
+    fn setup() -> (Sim, Rc<Host>, Rc<Link>) {
+        let sim = Sim::new(0);
+        let builder = Host::new(&HostSpec::commodity("builder"));
+        let repo = Link::new("repo", "repository", "builder", GBIT_PER_S / 10.0, Duration::from_millis(20));
+        (sim, builder, repo)
+    }
+
+    #[test]
+    fn build_produces_image_with_recipe_traits() {
+        let (mut sim, builder, repo) = setup();
+        let recipe = ApplianceRecipe::cyberaide_onserve();
+        let got: Rc<Cell<Option<ApplianceImage>>> = Rc::new(Cell::new(None));
+        let g = got.clone();
+        build_image(&mut sim, &builder, &repo, &recipe, move |_, img| {
+            g.set(Some(img));
+        });
+        sim.run();
+        let img = got.take().expect("image built");
+        assert_eq!(img.name, "cyberaide-onserve");
+        assert_eq!(img.bytes, recipe.image_bytes());
+        assert_eq!(img.recipe_fingerprint, recipe.fingerprint());
+        assert!(img.boot_services.contains(&"tomcat".to_string()));
+    }
+
+    #[test]
+    fn build_time_includes_fetch_compile_write() {
+        let (mut sim, builder, repo) = setup();
+        let recipe = ApplianceRecipe::cyberaide_onserve();
+        let at = Rc::new(Cell::new(-1.0));
+        let at2 = at.clone();
+        build_image(&mut sim, &builder, &repo, &recipe, move |sim, _| {
+            at2.set(sim.now().as_secs_f64());
+        });
+        sim.run();
+        let fetch = recipe.download_bytes() / (GBIT_PER_S / 10.0);
+        let write = recipe.image_bytes() / (35.0 * MB);
+        let expect = fetch + 0.02 + recipe.build_cpu_secs() + write;
+        assert!(
+            (at.get() - expect).abs() < 1.0,
+            "built at {}, expected ≈{expect}",
+            at.get()
+        );
+    }
+
+    #[test]
+    fn build_records_builder_activity() {
+        let (mut sim, builder, repo) = setup();
+        build_image(
+            &mut sim,
+            &builder,
+            &repo,
+            &ApplianceRecipe::cyberaide_onserve(),
+            |_, _| {},
+        );
+        sim.run();
+        let r = sim.recorder_ref();
+        // build work runs on one of four cores: utilization-seconds = work/4
+        assert!(r.total("builder.cpu.busy") > 25.0);
+        assert!(r.total("builder.disk.write.bytes") > 400.0 * MB);
+        assert!(r.total("builder.net.in.bytes") > 300.0 * MB);
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # vappliance — the virtual-appliance substrate
+//!
+//! "The Cyberaide onServe is implemented as a virtual appliance which can
+//! be built on-demand" (§I) — the paper builds it rBuilder-style (like
+//! CERN VM, §II-A) and "users dynamically start Cyberaide virtual
+//! appliance, which serves as an access layer for production Grids" (§V).
+//! This crate provides that lifecycle:
+//!
+//! * [`recipe`] — appliance recipes: a base image plus software packages
+//!   (Tomcat, Axis2, jUDDI, MySQL, the Cyberaide toolkit...).
+//! * [`image`] — the build step: package fetch + build CPU + image write,
+//!   producing a deployable [`image::ApplianceImage`].
+//! * [`lifecycle`] — on-demand deployment: image copy, boot, a running
+//!   [`simkit::Host`] for the appliance VM, suspend/resume/destroy with a
+//!   checked state machine.
+
+pub mod image;
+pub mod lifecycle;
+pub mod recipe;
+
+pub use image::{build_image, ApplianceImage};
+pub use lifecycle::{Appliance, ApplianceError, ApplianceState, DeploySpec};
+pub use recipe::{ApplianceRecipe, Package};

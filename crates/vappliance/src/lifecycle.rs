@@ -1,0 +1,345 @@
+//! On-demand deployment and the appliance state machine.
+//!
+//! Deploying copies the image to the virtualization host, boots the VM and
+//! starts the recipe's services; the running appliance then *is* the access
+//! layer — a [`simkit::Host`] whose CPU/disk absorb all middleware work.
+//! States and the legal transitions:
+//!
+//! ```text
+//! Deploying → Booting → Running ⇄ Suspended
+//!      \          \         \________ Destroyed (from any live state)
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simkit::{Duration, Host, HostSpec, Link, Sim, SimTime};
+
+use crate::image::ApplianceImage;
+
+/// Lifecycle states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApplianceState {
+    /// Image being copied to the virtualization host.
+    Deploying,
+    /// VM booting, services starting.
+    Booting,
+    /// Serving requests.
+    Running,
+    /// Paused; RAM retained, no service.
+    Suspended,
+    /// Gone.
+    Destroyed,
+}
+
+/// Illegal lifecycle operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApplianceError {
+    /// State the appliance was in.
+    pub state: ApplianceState,
+    /// Operation that was attempted.
+    pub attempted: &'static str,
+}
+
+impl std::fmt::Display for ApplianceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot {} while {:?}", self.attempted, self.state)
+    }
+}
+
+impl std::error::Error for ApplianceError {}
+
+/// Where and how to deploy.
+#[derive(Clone, Debug)]
+pub struct DeploySpec {
+    /// Name for the appliance host (metric prefix), e.g. `"appliance"`.
+    pub host_name: String,
+    /// Host profile the VM is carved from.
+    pub profile: HostSpec,
+    /// Fixed hypervisor/VM boot cost.
+    pub boot_fixed: Duration,
+    /// Per-service start cost.
+    pub per_service_boot: Duration,
+}
+
+impl DeploySpec {
+    /// Deploy as `host_name` on a commodity server, with 2010-ish boot
+    /// costs (tens of seconds).
+    pub fn default_for(host_name: &str) -> DeploySpec {
+        DeploySpec {
+            host_name: host_name.to_owned(),
+            profile: HostSpec::commodity(host_name),
+            boot_fixed: Duration::from_secs(25),
+            per_service_boot: Duration::from_secs(4),
+        }
+    }
+}
+
+/// A deployed appliance instance.
+pub struct Appliance {
+    state: RefCell<ApplianceState>,
+    host: Rc<Host>,
+    image_name: String,
+    services: Vec<String>,
+    deployed_at: RefCell<SimTime>,
+}
+
+impl Appliance {
+    /// Deploy `image` on demand: copy it over `image_link` (image store →
+    /// virtualization host), write it to local disk, boot, start services.
+    /// `done` fires when the appliance reaches `Running`.
+    pub fn deploy<F>(
+        sim: &mut Sim,
+        image: &ApplianceImage,
+        image_link: &Rc<Link>,
+        spec: &DeploySpec,
+        done: F,
+    ) -> Rc<Appliance>
+    where
+        F: FnOnce(&mut Sim, &Rc<Appliance>) + 'static,
+    {
+        let mut profile = spec.profile.clone();
+        profile.name = spec.host_name.clone();
+        let appliance = Rc::new(Appliance {
+            state: RefCell::new(ApplianceState::Deploying),
+            host: Host::new(&profile),
+            image_name: image.name.clone(),
+            services: image.boot_services.clone(),
+            deployed_at: RefCell::new(sim.now()),
+        });
+        let app = Rc::clone(&appliance);
+        let bytes = image.bytes;
+        let boot = spec.boot_fixed
+            + spec
+                .per_service_boot
+                .saturating_mul(image.boot_services.len() as u64);
+        image_link.transfer(sim, bytes, move |sim| {
+            let app2 = Rc::clone(&app);
+            app.host.write_disk(sim, bytes, move |sim| {
+                *app2.state.borrow_mut() = ApplianceState::Booting;
+                let app3 = Rc::clone(&app2);
+                sim.schedule(boot, move |sim| {
+                    // a destroy may have raced the boot
+                    if *app3.state.borrow() == ApplianceState::Booting {
+                        *app3.state.borrow_mut() = ApplianceState::Running;
+                        *app3.deployed_at.borrow_mut() = sim.now();
+                        done(sim, &app3);
+                    }
+                });
+            });
+        });
+        appliance
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ApplianceState {
+        *self.state.borrow()
+    }
+
+    /// The appliance VM's host (only meaningful while `Running`).
+    pub fn host(&self) -> &Rc<Host> {
+        &self.host
+    }
+
+    /// Image this instance was started from.
+    pub fn image_name(&self) -> &str {
+        &self.image_name
+    }
+
+    /// Services started at boot.
+    pub fn services(&self) -> &[String] {
+        &self.services
+    }
+
+    /// Instant the appliance reached `Running`.
+    pub fn running_since(&self) -> SimTime {
+        *self.deployed_at.borrow()
+    }
+
+    fn transition(
+        &self,
+        from: &[ApplianceState],
+        to: ApplianceState,
+        op: &'static str,
+    ) -> Result<(), ApplianceError> {
+        let mut st = self.state.borrow_mut();
+        if from.contains(&*st) {
+            *st = to;
+            Ok(())
+        } else {
+            Err(ApplianceError {
+                state: *st,
+                attempted: op,
+            })
+        }
+    }
+
+    /// Pause a running appliance.
+    pub fn suspend(&self) -> Result<(), ApplianceError> {
+        self.transition(&[ApplianceState::Running], ApplianceState::Suspended, "suspend")
+    }
+
+    /// Resume a suspended appliance.
+    pub fn resume(&self) -> Result<(), ApplianceError> {
+        self.transition(&[ApplianceState::Suspended], ApplianceState::Running, "resume")
+    }
+
+    /// Destroy from any live state.
+    pub fn destroy(&self) -> Result<(), ApplianceError> {
+        self.transition(
+            &[
+                ApplianceState::Deploying,
+                ApplianceState::Booting,
+                ApplianceState::Running,
+                ApplianceState::Suspended,
+            ],
+            ApplianceState::Destroyed,
+            "destroy",
+        )
+    }
+
+    /// Whether the appliance is serving.
+    pub fn is_running(&self) -> bool {
+        self.state() == ApplianceState::Running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::build_image;
+    use crate::recipe::ApplianceRecipe;
+    use simkit::{GBIT_PER_S, MB};
+    use std::cell::Cell;
+
+    fn image() -> ApplianceImage {
+        ApplianceImage {
+            name: "cyberaide-onserve".into(),
+            bytes: 600.0 * MB,
+            boot_services: vec!["mysqld".into(), "tomcat".into(), "juddi".into()],
+            recipe_fingerprint: 1,
+        }
+    }
+
+    fn link() -> Rc<Link> {
+        Link::new("imgstore", "store", "vmm", GBIT_PER_S, Duration::from_millis(5))
+    }
+
+    #[test]
+    fn deploy_reaches_running_with_timing() {
+        let mut sim = Sim::new(0);
+        let at = Rc::new(Cell::new(-1.0));
+        let at2 = at.clone();
+        let app = Appliance::deploy(
+            &mut sim,
+            &image(),
+            &link(),
+            &DeploySpec::default_for("appliance"),
+            move |sim, app| {
+                assert!(app.is_running());
+                at2.set(sim.now().as_secs_f64());
+            },
+        );
+        assert_eq!(app.state(), ApplianceState::Deploying);
+        sim.run();
+        assert_eq!(app.state(), ApplianceState::Running);
+        // copy(600MB @ 125MB/s ≈ 4.8s) + disk write(600/35 ≈ 17.1s)
+        // + boot 25s + 3 services × 4s = ~59s
+        assert!(at.get() > 50.0 && at.get() < 70.0, "running at {}", at.get());
+        assert_eq!(app.running_since().as_secs_f64(), at.get());
+        assert_eq!(app.services().len(), 3);
+        assert_eq!(app.image_name(), "cyberaide-onserve");
+    }
+
+    #[test]
+    fn suspend_resume_cycle() {
+        let mut sim = Sim::new(0);
+        let app = Appliance::deploy(
+            &mut sim,
+            &image(),
+            &link(),
+            &DeploySpec::default_for("a"),
+            |_, _| {},
+        );
+        sim.run();
+        app.suspend().unwrap();
+        assert_eq!(app.state(), ApplianceState::Suspended);
+        assert!(!app.is_running());
+        app.resume().unwrap();
+        assert!(app.is_running());
+    }
+
+    #[test]
+    fn illegal_transitions_error() {
+        let mut sim = Sim::new(0);
+        let app = Appliance::deploy(
+            &mut sim,
+            &image(),
+            &link(),
+            &DeploySpec::default_for("a"),
+            |_, _| {},
+        );
+        // still deploying
+        let err = app.suspend().unwrap_err();
+        assert_eq!(err.state, ApplianceState::Deploying);
+        sim.run();
+        app.destroy().unwrap();
+        assert!(app.suspend().is_err());
+        assert!(app.resume().is_err());
+        assert!(app.destroy().is_err());
+        assert_eq!(app.state(), ApplianceState::Destroyed);
+    }
+
+    #[test]
+    fn destroy_during_boot_wins_race() {
+        let mut sim = Sim::new(0);
+        let reached_running = Rc::new(Cell::new(false));
+        let r2 = reached_running.clone();
+        let app = Appliance::deploy(
+            &mut sim,
+            &image(),
+            &link(),
+            &DeploySpec::default_for("a"),
+            move |_, _| r2.set(true),
+        );
+        let app2 = Rc::clone(&app);
+        // destroy while booting (after copy ≈ 16s, before running ≈ 52s)
+        sim.schedule(Duration::from_secs(30), move |_| {
+            app2.destroy().unwrap();
+        });
+        sim.run();
+        assert!(!reached_running.get());
+        assert_eq!(app.state(), ApplianceState::Destroyed);
+    }
+
+    #[test]
+    fn end_to_end_build_then_deploy() {
+        let mut sim = Sim::new(0);
+        let builder = Host::new(&HostSpec::commodity("builder"));
+        let repo = Link::new("repo", "mirror", "builder", GBIT_PER_S / 10.0, Duration::from_millis(10));
+        let deploy_link = link();
+        let running = Rc::new(Cell::new(false));
+        let r2 = running.clone();
+        build_image(
+            &mut sim,
+            &builder,
+            &repo,
+            &ApplianceRecipe::cyberaide_onserve(),
+            move |sim, img| {
+                let r3 = r2.clone();
+                Appliance::deploy(
+                    sim,
+                    &img,
+                    &deploy_link,
+                    &DeploySpec::default_for("appliance"),
+                    move |_, app| {
+                        assert!(app.services().contains(&"onserve-portal".to_string()));
+                        r3.set(true);
+                    },
+                );
+            },
+        );
+        sim.run();
+        assert!(running.get());
+    }
+}

@@ -1,0 +1,164 @@
+//! Appliance recipes: what goes into an image.
+//!
+//! A recipe is the rBuilder-style input: a minimal base plus the packages
+//! the paper's appliance needs. "A software publisher can bundle the
+//! necessary tools in an appliance and distribute it to users" (§II-A).
+
+use simkit::host::MB;
+
+/// One installable software package.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Package {
+    /// Package name.
+    pub name: String,
+    /// Download size in bytes.
+    pub bytes: f64,
+    /// Build/install CPU seconds on the builder host.
+    pub build_cpu_secs: f64,
+}
+
+impl Package {
+    /// Convenience constructor.
+    pub fn new(name: &str, bytes: f64, build_cpu_secs: f64) -> Package {
+        Package {
+            name: name.to_owned(),
+            bytes,
+            build_cpu_secs,
+        }
+    }
+}
+
+/// A buildable appliance description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ApplianceRecipe {
+    /// Appliance name.
+    pub name: String,
+    /// Size of the minimal base system in bytes.
+    pub base_bytes: f64,
+    /// Packages layered on the base.
+    pub packages: Vec<Package>,
+    /// Services the appliance starts at boot (checked by the deployment).
+    pub boot_services: Vec<String>,
+}
+
+impl ApplianceRecipe {
+    /// A recipe with just a base system.
+    pub fn minimal(name: &str, base_bytes: f64) -> ApplianceRecipe {
+        ApplianceRecipe {
+            name: name.to_owned(),
+            base_bytes,
+            packages: Vec::new(),
+            boot_services: Vec::new(),
+        }
+    }
+
+    /// Builder: add a package.
+    pub fn with_package(mut self, pkg: Package) -> ApplianceRecipe {
+        self.packages.push(pkg);
+        self
+    }
+
+    /// Builder: add a boot service.
+    pub fn with_service(mut self, service: &str) -> ApplianceRecipe {
+        self.boot_services.push(service.to_owned());
+        self
+    }
+
+    /// The Cyberaide onServe appliance of the paper: servlet container,
+    /// SOAP engine, UDDI registry, database, the Cyberaide toolkit and the
+    /// onServe middleware on a minimal Linux base.
+    pub fn cyberaide_onserve() -> ApplianceRecipe {
+        ApplianceRecipe::minimal("cyberaide-onserve", 220.0 * MB)
+            .with_package(Package::new("jre", 90.0 * MB, 20.0))
+            .with_package(Package::new("tomcat", 12.0 * MB, 8.0))
+            .with_package(Package::new("axis2", 18.0 * MB, 10.0))
+            .with_package(Package::new("juddi", 9.0 * MB, 6.0))
+            .with_package(Package::new("mysql", 45.0 * MB, 25.0))
+            .with_package(Package::new("cog-kit", 25.0 * MB, 12.0))
+            .with_package(Package::new("cyberaide-toolkit", 6.0 * MB, 9.0))
+            .with_package(Package::new("onserve", 2.0 * MB, 5.0))
+            .with_service("mysqld")
+            .with_service("tomcat")
+            .with_service("juddi")
+            .with_service("cyberaide-agent")
+            .with_service("onserve-portal")
+    }
+
+    /// Total bytes that must be fetched to build this image.
+    pub fn download_bytes(&self) -> f64 {
+        self.base_bytes + self.packages.iter().map(|p| p.bytes).sum::<f64>()
+    }
+
+    /// Total build CPU seconds.
+    pub fn build_cpu_secs(&self) -> f64 {
+        // base system assembly plus each package's build
+        15.0 + self.packages.iter().map(|p| p.build_cpu_secs).sum::<f64>()
+    }
+
+    /// Resulting image size (installed footprint ≈ 1.6× the downloads,
+    /// rBuilder images are filesystem images, not archives).
+    pub fn image_bytes(&self) -> f64 {
+        self.download_bytes() * 1.6
+    }
+
+    /// Content fingerprint (name + package list), used to dedupe builds.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |s: &str| {
+            for b in s.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0x1f;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        eat(&self.name);
+        for p in &self.packages {
+            eat(&p.name);
+        }
+        for s in &self.boot_services {
+            eat(s);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn onserve_recipe_is_complete() {
+        let r = ApplianceRecipe::cyberaide_onserve();
+        let names: Vec<&str> = r.packages.iter().map(|p| p.name.as_str()).collect();
+        for needed in ["tomcat", "axis2", "juddi", "mysql", "cyberaide-toolkit", "onserve"] {
+            assert!(names.contains(&needed), "missing {needed}");
+        }
+        assert!(r.boot_services.contains(&"onserve-portal".to_string()));
+        assert!(r.download_bytes() > 300.0 * MB);
+        assert!(r.image_bytes() > r.download_bytes());
+        assert!(r.build_cpu_secs() > 60.0);
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let r = ApplianceRecipe::minimal("m", 10.0)
+            .with_package(Package::new("p", 5.0, 1.0))
+            .with_service("s");
+        assert_eq!(r.download_bytes(), 15.0);
+        assert_eq!(r.packages.len(), 1);
+        assert_eq!(r.boot_services, vec!["s".to_string()]);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_contents() {
+        let a = ApplianceRecipe::cyberaide_onserve();
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.packages.push(Package::new("extra", 1.0, 1.0));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.name = "other".into();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

@@ -1,0 +1,385 @@
+//! The SOAP container: service directory + dispatch.
+//!
+//! The paper's appliance runs "a SOAP server \[that\] runs the deployed Web
+//! services as well as some services related to the Cyberaide toolkit"
+//! (§V). Generated services arrive as `.aar` archives — "generates an
+//! aar-file that is finally copied into the Web service framework's
+//! service directory" (§VI) — so deployment costs a disk write plus class
+//! loading CPU, and every dispatched request pays an XML-parsing CPU cost
+//! before reaching its handler.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use simkit::{Host, Sim};
+
+use crate::soap::{Envelope, SoapFault, SoapValue};
+use crate::wsdl::WsdlDocument;
+
+/// Completion continuation of an invocation.
+pub type Responder = Box<dyn FnOnce(&mut Sim, Result<SoapValue, SoapFault>)>;
+
+/// Implemented by deployed services (the generated `GridService` template
+/// class is the important one).
+pub trait ServiceHandler {
+    /// Handle `operation` with `args`; exactly one call to `respond`.
+    fn invoke(
+        &self,
+        sim: &mut Sim,
+        operation: &str,
+        args: &BTreeMap<String, SoapValue>,
+        respond: Responder,
+    );
+}
+
+/// Blanket impl so plain closures can be handlers.
+impl<F> ServiceHandler for F
+where
+    F: Fn(&mut Sim, &str, &BTreeMap<String, SoapValue>, Responder),
+{
+    fn invoke(
+        &self,
+        sim: &mut Sim,
+        operation: &str,
+        args: &BTreeMap<String, SoapValue>,
+        respond: Responder,
+    ) {
+        self(sim, operation, args, respond)
+    }
+}
+
+/// A deployable `.aar` unit.
+pub struct ServiceArchive {
+    /// Service name (directory key).
+    pub name: String,
+    /// Interface description, served at `...?wsdl`.
+    pub wsdl: WsdlDocument,
+    /// Archive size in bytes (the deployment copy).
+    pub archive_bytes: f64,
+    /// The service implementation.
+    pub handler: Rc<dyn ServiceHandler>,
+}
+
+struct Deployed {
+    wsdl: WsdlDocument,
+    handler: Rc<dyn ServiceHandler>,
+    invocations: u64,
+}
+
+/// CPU seconds to parse/validate `bytes` of XML (plus fixed dispatch cost).
+/// Calibrated so small control messages cost ~1 ms and a 5 MB upload
+/// envelope costs a visible CPU burst, as Figure 8 shows.
+pub fn parse_cpu_cost(bytes: f64) -> f64 {
+    1.0e-3 + bytes * 15.0e-9
+}
+
+/// The container.
+pub struct SoapContainer {
+    host: Rc<Host>,
+    services: BTreeMap<String, Deployed>,
+}
+
+impl SoapContainer {
+    /// A container running on `host` (its CPU and disk absorb the costs).
+    pub fn new(host: Rc<Host>) -> Rc<RefCell<SoapContainer>> {
+        Rc::new(RefCell::new(SoapContainer {
+            host,
+            services: BTreeMap::new(),
+        }))
+    }
+
+    /// The host the container runs on.
+    pub fn host(&self) -> &Rc<Host> {
+        &self.host
+    }
+
+    /// Deploy an archive: write it into the service directory, load
+    /// classes, then expose the service. Redeploying a name replaces the
+    /// old unit (Axis2 hot-deployment behaviour).
+    pub fn deploy<F>(this: &Rc<RefCell<Self>>, sim: &mut Sim, archive: ServiceArchive, done: F)
+    where
+        F: FnOnce(&mut Sim, Result<(), SoapFault>) + 'static,
+    {
+        let host = Rc::clone(&this.borrow().host);
+        let this2 = Rc::clone(this);
+        let bytes = archive.archive_bytes;
+        host.write_disk(sim, bytes, move |sim| {
+            let host2 = Rc::clone(&this2.borrow().host);
+            // class loading / service initialization burns CPU proportional
+            // to archive size
+            host2.compute(sim, parse_cpu_cost(bytes) * 4.0, move |sim| {
+                this2.borrow_mut().services.insert(
+                    archive.name.clone(),
+                    Deployed {
+                        wsdl: archive.wsdl,
+                        handler: archive.handler,
+                        invocations: 0,
+                    },
+                );
+                done(sim, Ok(()));
+            });
+        });
+    }
+
+    /// Remove a service from the directory.
+    pub fn undeploy(&mut self, name: &str) -> bool {
+        self.services.remove(name).is_some()
+    }
+
+    /// Deployed service names.
+    pub fn service_names(&self) -> Vec<String> {
+        self.services.keys().cloned().collect()
+    }
+
+    /// The WSDL for a deployed service (the `?wsdl` endpoint).
+    pub fn wsdl_for(&self, name: &str) -> Option<&WsdlDocument> {
+        self.services.get(name).map(|d| &d.wsdl)
+    }
+
+    /// Invocations served per service.
+    pub fn invocation_count(&self, name: &str) -> u64 {
+        self.services.get(name).map_or(0, |d| d.invocations)
+    }
+
+    /// Validate an envelope against the service's WSDL and hand it to the
+    /// handler. The transport has already paid the network cost; dispatch
+    /// pays the parse CPU here.
+    pub fn dispatch(
+        this: &Rc<RefCell<Self>>,
+        sim: &mut Sim,
+        envelope: Envelope,
+        respond: Responder,
+    ) {
+        let host = Rc::clone(&this.borrow().host);
+        let this2 = Rc::clone(this);
+        let cost = parse_cpu_cost(envelope.wire_size());
+        host.compute(sim, cost, move |sim| {
+            let handler = {
+                let mut c = this2.borrow_mut();
+                match c.validate(&envelope) {
+                    Ok(()) => {
+                        let d = c
+                            .services
+                            .get_mut(&envelope.service)
+                            .expect("validated above");
+                        d.invocations += 1;
+                        Rc::clone(&d.handler)
+                    }
+                    Err(fault) => {
+                        drop(c);
+                        respond(sim, Err(fault));
+                        return;
+                    }
+                }
+            };
+            handler.invoke(sim, &envelope.operation, &envelope.args, respond);
+        });
+    }
+
+    fn validate(&self, env: &Envelope) -> Result<(), SoapFault> {
+        let svc = self
+            .services
+            .get(&env.service)
+            .ok_or_else(|| SoapFault::client(&format!("unknown service {}", env.service)))?;
+        let op = svc
+            .wsdl
+            .operation(&env.operation)
+            .ok_or_else(|| SoapFault::client(&format!("unknown operation {}", env.operation)))?;
+        for p in &op.inputs {
+            let v = env.args.get(&p.name).ok_or_else(|| {
+                SoapFault::client(&format!("missing argument {}", p.name))
+            })?;
+            if !p.ty.matches(v) {
+                return Err(SoapFault::client(&format!(
+                    "argument {} expects {}",
+                    p.name,
+                    p.ty.xsd()
+                )));
+            }
+        }
+        for name in env.args.keys() {
+            if !op.inputs.iter().any(|p| &p.name == name) {
+                return Err(SoapFault::client(&format!("unexpected argument {name}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wsdl::{ParamType, WsdlOperation, WsdlParam};
+    use simkit::HostSpec;
+    use std::cell::Cell;
+
+    fn echo_wsdl(name: &str) -> WsdlDocument {
+        WsdlDocument::single_op(
+            name,
+            &format!("http://appliance/services/{name}"),
+            "echoes",
+            WsdlOperation {
+                name: "execute".into(),
+                inputs: vec![WsdlParam::new("msg", ParamType::Str)],
+                output: ParamType::Str,
+            },
+        )
+    }
+
+    fn echo_archive(name: &str) -> ServiceArchive {
+        ServiceArchive {
+            name: name.to_owned(),
+            wsdl: echo_wsdl(name),
+            archive_bytes: 8192.0,
+            handler: Rc::new(
+                |sim: &mut Sim,
+                 _op: &str,
+                 args: &BTreeMap<String, SoapValue>,
+                 respond: Responder| {
+                    let msg = match args.get("msg") {
+                        Some(SoapValue::Str(s)) => s.clone(),
+                        _ => String::new(),
+                    };
+                    respond(sim, Ok(SoapValue::Str(format!("echo:{msg}"))));
+                },
+            ),
+        }
+    }
+
+    fn container() -> Rc<RefCell<SoapContainer>> {
+        SoapContainer::new(Host::new(&HostSpec::commodity("appliance")))
+    }
+
+    fn deploy_now(c: &Rc<RefCell<SoapContainer>>, sim: &mut Sim, a: ServiceArchive) {
+        SoapContainer::deploy(c, sim, a, |_, r| r.expect("deploy"));
+        sim.run();
+    }
+
+    #[test]
+    fn deploy_then_dispatch() {
+        let mut sim = Sim::new(0);
+        let c = container();
+        deploy_now(&c, &mut sim, echo_archive("Echo"));
+        assert_eq!(c.borrow().service_names(), vec!["Echo".to_string()]);
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        let env = Envelope::request("Echo", "execute").arg("msg", SoapValue::Str("hi".into()));
+        SoapContainer::dispatch(
+            &c,
+            &mut sim,
+            env,
+            Box::new(move |_, r| *g.borrow_mut() = Some(r)),
+        );
+        sim.run();
+        assert_eq!(
+            got.borrow().clone().unwrap().unwrap(),
+            SoapValue::Str("echo:hi".into())
+        );
+        assert_eq!(c.borrow().invocation_count("Echo"), 1);
+    }
+
+    #[test]
+    fn deployment_takes_time_and_disk() {
+        let mut sim = Sim::new(0);
+        let c = container();
+        let at = Rc::new(Cell::new(-1.0));
+        let at2 = at.clone();
+        SoapContainer::deploy(&c, &mut sim, echo_archive("Echo"), move |sim, r| {
+            r.unwrap();
+            at2.set(sim.now().as_secs_f64());
+        });
+        sim.run();
+        assert!(at.get() > 0.0);
+        assert!(sim.recorder_ref().total("appliance.disk.write.bytes") >= 8192.0);
+    }
+
+    #[test]
+    fn unknown_service_faults() {
+        let mut sim = Sim::new(0);
+        let c = container();
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        SoapContainer::dispatch(
+            &c,
+            &mut sim,
+            Envelope::request("Ghost", "execute"),
+            Box::new(move |_, r| *g.borrow_mut() = Some(r)),
+        );
+        sim.run();
+        let fault = got.borrow().clone().unwrap().unwrap_err();
+        assert!(fault.message.contains("unknown service"));
+    }
+
+    #[test]
+    fn wrong_types_and_args_fault() {
+        let mut sim = Sim::new(0);
+        let c = container();
+        deploy_now(&c, &mut sim, echo_archive("Echo"));
+        let cases = vec![
+            Envelope::request("Echo", "execute").arg("msg", SoapValue::Int(3)),
+            Envelope::request("Echo", "execute"),
+            Envelope::request("Echo", "execute")
+                .arg("msg", SoapValue::Str("x".into()))
+                .arg("extra", SoapValue::Int(1)),
+            Envelope::request("Echo", "destroy").arg("msg", SoapValue::Str("x".into())),
+        ];
+        for env in cases {
+            let got = Rc::new(RefCell::new(None));
+            let g = got.clone();
+            SoapContainer::dispatch(&c, &mut sim, env, Box::new(move |_, r| *g.borrow_mut() = Some(r)));
+            sim.run();
+            assert!(got.borrow().clone().unwrap().is_err());
+        }
+        assert_eq!(c.borrow().invocation_count("Echo"), 0);
+    }
+
+    #[test]
+    fn redeploy_replaces() {
+        let mut sim = Sim::new(0);
+        let c = container();
+        deploy_now(&c, &mut sim, echo_archive("Echo"));
+        let mut replacement = echo_archive("Echo");
+        replacement.handler = Rc::new(
+            |sim: &mut Sim, _: &str, _: &BTreeMap<String, SoapValue>, respond: Responder| {
+                respond(sim, Ok(SoapValue::Str("v2".into())));
+            },
+        );
+        deploy_now(&c, &mut sim, replacement);
+        assert_eq!(c.borrow().service_names().len(), 1);
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        SoapContainer::dispatch(
+            &c,
+            &mut sim,
+            Envelope::request("Echo", "execute").arg("msg", SoapValue::Str("x".into())),
+            Box::new(move |_, r| *g.borrow_mut() = Some(r)),
+        );
+        sim.run();
+        assert_eq!(got.borrow().clone().unwrap().unwrap(), SoapValue::Str("v2".into()));
+    }
+
+    #[test]
+    fn undeploy_removes() {
+        let mut sim = Sim::new(0);
+        let c = container();
+        deploy_now(&c, &mut sim, echo_archive("Echo"));
+        assert!(c.borrow_mut().undeploy("Echo"));
+        assert!(!c.borrow_mut().undeploy("Echo"));
+        assert!(c.borrow().wsdl_for("Echo").is_none());
+    }
+
+    #[test]
+    fn wsdl_served() {
+        let mut sim = Sim::new(0);
+        let c = container();
+        deploy_now(&c, &mut sim, echo_archive("Echo"));
+        let w = c.borrow().wsdl_for("Echo").cloned().unwrap();
+        assert_eq!(w.service, "Echo");
+    }
+
+    #[test]
+    fn parse_cost_scales_with_bytes() {
+        assert!(parse_cpu_cost(5.0 * 1024.0 * 1024.0) > 50.0 * parse_cpu_cost(100.0));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # wsstack — the Web-service substrate
+//!
+//! Cyberaide onServe hosts uploaded executables *as Web services*: it
+//! generates a service from a template, packages it as an `.aar` archive,
+//! deploys it into a SOAP container (Axis2 on Tomcat in the paper),
+//! publishes it with its WSDL in a jUDDI registry, and clients build stubs
+//! with `wsimport` and invoke them. This crate rebuilds that entire 2010
+//! WS-* stack, scaled to what the middleware actually exercises:
+//!
+//! * [`xml`] — a small XML document model with writer and parser (enough
+//!   for SOAP/WSDL/UDDI payloads, with escaping and attributes).
+//! * [`soap`] — SOAP 1.1 envelopes, typed argument values, and faults.
+//! * [`wsdl`] — WSDL documents: generation from an operation signature and
+//!   parsing back (the `wsimport` half of the story).
+//! * [`uddi`] — a UDDI-style registry: publish businessServices with
+//!   binding templates, inquire by name pattern, fetch details.
+//! * [`container`] — the SOAP container: deployable service archives
+//!   (`.aar`), a service directory, and request dispatch to handlers.
+//! * [`client`] — stub generation from WSDL and typed invocation.
+//! * [`transport`] — the simulated HTTP channel: request/response byte
+//!   counts ride [`simkit`] links, parsing burns host CPU; this is where
+//!   the evaluation's network peaks come from.
+
+pub mod client;
+pub mod container;
+pub mod soap;
+pub mod transport;
+pub mod uddi;
+pub mod wsdl;
+pub mod xml;
+
+pub use client::ClientStub;
+pub use container::{ServiceArchive, SoapContainer};
+pub use soap::{SoapFault, SoapValue};
+pub use transport::HttpChannel;
+pub use uddi::{BindingTemplate, BusinessService, UddiRegistry};
+pub use wsdl::{ParamType, WsdlDocument, WsdlOperation, WsdlParam};
+pub use xml::XmlNode;

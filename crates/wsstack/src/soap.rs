@@ -1,0 +1,367 @@
+//! SOAP 1.1 envelopes, typed values and faults.
+//!
+//! Every interaction with a generated service — and with the Cyberaide
+//! agent itself, which "is a Web service and exposes its functions as Web
+//! methods" (§VI) — is a SOAP call. Envelopes here are real documents
+//! built on [`XmlNode`], so their serialized size drives the transport
+//! model, and malformed payloads fail in the same places they would have
+//! failed in Axis2.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::xml::XmlNode;
+
+/// SOAP envelope namespace (1.1, as in the paper's toolchain).
+pub const SOAP_ENV_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+
+/// A typed argument/result value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SoapValue {
+    /// `xsd:string`
+    Str(String),
+    /// `xsd:int`
+    Int(i64),
+    /// `xsd:double`
+    Double(f64),
+    /// `xsd:boolean`
+    Bool(bool),
+    /// `xsd:base64Binary` — carried as a *size* plus digest, because the
+    /// simulation transfers payload bytes through the resource model, not
+    /// through memory.
+    Binary {
+        /// Payload size in bytes.
+        bytes: f64,
+        /// Content digest standing in for the actual bits.
+        digest: u64,
+    },
+}
+
+impl SoapValue {
+    /// XSD type name used in WSDL and envelopes.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            SoapValue::Str(_) => "xsd:string",
+            SoapValue::Int(_) => "xsd:int",
+            SoapValue::Double(_) => "xsd:double",
+            SoapValue::Bool(_) => "xsd:boolean",
+            SoapValue::Binary { .. } => "xsd:base64Binary",
+        }
+    }
+
+    /// Extra on-the-wire bytes this value adds beyond its XML element
+    /// scaffolding (binary payloads are base64-inflated by 4/3).
+    pub fn wire_bytes(&self) -> f64 {
+        match self {
+            SoapValue::Str(s) => s.len() as f64,
+            SoapValue::Int(_) | SoapValue::Double(_) => 16.0,
+            SoapValue::Bool(_) => 5.0,
+            SoapValue::Binary { bytes, .. } => bytes * 4.0 / 3.0,
+        }
+    }
+
+    fn to_xml(&self, name: &str) -> XmlNode {
+        let node = match self {
+            SoapValue::Str(s) => XmlNode::text_node(name, s),
+            SoapValue::Int(i) => XmlNode::text_node(name, &i.to_string()),
+            SoapValue::Double(d) => XmlNode::text_node(name, &format!("{d:e}")),
+            SoapValue::Bool(b) => XmlNode::text_node(name, if *b { "true" } else { "false" }),
+            SoapValue::Binary { bytes, digest } => {
+                // stand-in marker: size + digest instead of megabytes of
+                // base64 in the in-memory document
+                XmlNode::text_node(name, &format!("base64:{bytes}:{digest:016x}"))
+            }
+        };
+        node.attr("xsi:type", self.type_name())
+    }
+
+    fn from_xml(node: &XmlNode) -> Result<SoapValue, SoapFault> {
+        let ty = node.get_attr("xsi:type").unwrap_or("xsd:string");
+        let text = node.text.as_str();
+        let bad = |what: &str| SoapFault::client(&format!("bad {what} value: {text}"));
+        match ty {
+            "xsd:string" => Ok(SoapValue::Str(text.to_owned())),
+            "xsd:int" => text
+                .parse()
+                .map(SoapValue::Int)
+                .map_err(|_| bad("int")),
+            "xsd:double" => text
+                .parse()
+                .map(SoapValue::Double)
+                .map_err(|_| bad("double")),
+            "xsd:boolean" => match text {
+                "true" | "1" => Ok(SoapValue::Bool(true)),
+                "false" | "0" => Ok(SoapValue::Bool(false)),
+                _ => Err(bad("boolean")),
+            },
+            "xsd:base64Binary" => {
+                let mut parts = text.splitn(3, ':');
+                let tag = parts.next();
+                let bytes = parts.next().and_then(|p| p.parse::<f64>().ok());
+                let digest = parts
+                    .next()
+                    .and_then(|p| u64::from_str_radix(p, 16).ok());
+                match (tag, bytes, digest) {
+                    (Some("base64"), Some(bytes), Some(digest)) => {
+                        Ok(SoapValue::Binary { bytes, digest })
+                    }
+                    _ => Err(bad("base64Binary")),
+                }
+            }
+            other => Err(SoapFault::client(&format!("unknown xsi:type {other}"))),
+        }
+    }
+}
+
+/// A SOAP fault (the error half of every invocation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoapFault {
+    /// `Client`, `Server`, `VersionMismatch`, ...
+    pub code: String,
+    /// Human-readable fault string.
+    pub message: String,
+}
+
+impl SoapFault {
+    /// `soap:Client` fault — the caller's payload is at fault.
+    pub fn client(message: &str) -> SoapFault {
+        SoapFault {
+            code: "soap:Client".into(),
+            message: message.to_owned(),
+        }
+    }
+
+    /// `soap:Server` fault — processing failed on the service side.
+    pub fn server(message: &str) -> SoapFault {
+        SoapFault {
+            code: "soap:Server".into(),
+            message: message.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for SoapFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for SoapFault {}
+
+/// A request or response envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Target service name.
+    pub service: String,
+    /// Operation (web-method) name.
+    pub operation: String,
+    /// Named arguments/results, in a deterministic order.
+    pub args: BTreeMap<String, SoapValue>,
+}
+
+impl Envelope {
+    /// Build a request envelope.
+    pub fn request(service: &str, operation: &str) -> Envelope {
+        Envelope {
+            service: service.to_owned(),
+            operation: operation.to_owned(),
+            args: BTreeMap::new(),
+        }
+    }
+
+    /// Builder: add an argument.
+    pub fn arg(mut self, name: &str, value: SoapValue) -> Envelope {
+        self.args.insert(name.to_owned(), value);
+        self
+    }
+
+    /// Serialize to the full SOAP document.
+    pub fn to_xml(&self) -> XmlNode {
+        let mut op = XmlNode::new(&format!("ns:{}", self.operation))
+            .attr("xmlns:ns", &format!("urn:onserve:{}", self.service));
+        for (name, value) in &self.args {
+            op.children.push(value.to_xml(name));
+        }
+        XmlNode::new("soap:Envelope")
+            .attr("xmlns:soap", SOAP_ENV_NS)
+            .attr("xmlns:xsd", "http://www.w3.org/2001/XMLSchema")
+            .attr("xmlns:xsi", "http://www.w3.org/2001/XMLSchema-instance")
+            .child(XmlNode::new("soap:Body").child(op))
+    }
+
+    /// Total request size on the wire.
+    pub fn wire_size(&self) -> f64 {
+        self.to_xml().wire_size()
+            + self
+                .args
+                .values()
+                .map(|v| match v {
+                    // the in-document marker is tiny; add the real payload
+                    SoapValue::Binary { .. } => v.wire_bytes(),
+                    _ => 0.0,
+                })
+                .sum::<f64>()
+    }
+
+    /// Parse an envelope back out of a document.
+    pub fn parse(doc: &XmlNode) -> Result<Envelope, SoapFault> {
+        if doc.name != "soap:Envelope" {
+            return Err(SoapFault::client("not a SOAP envelope"));
+        }
+        let body = doc
+            .find("soap:Body")
+            .ok_or_else(|| SoapFault::client("missing soap:Body"))?;
+        let op_node = body
+            .children
+            .first()
+            .ok_or_else(|| SoapFault::client("empty soap:Body"))?;
+        let operation = op_node
+            .name
+            .strip_prefix("ns:")
+            .unwrap_or(&op_node.name)
+            .to_owned();
+        let service = op_node
+            .get_attr("xmlns:ns")
+            .and_then(|ns| ns.strip_prefix("urn:onserve:"))
+            .unwrap_or("")
+            .to_owned();
+        let mut args = BTreeMap::new();
+        for child in &op_node.children {
+            args.insert(child.name.clone(), SoapValue::from_xml(child)?);
+        }
+        Ok(Envelope {
+            service,
+            operation,
+            args,
+        })
+    }
+
+    /// Wrap a fault in a response document.
+    pub fn fault_to_xml(fault: &SoapFault) -> XmlNode {
+        XmlNode::new("soap:Envelope")
+            .attr("xmlns:soap", SOAP_ENV_NS)
+            .child(
+                XmlNode::new("soap:Body").child(
+                    XmlNode::new("soap:Fault")
+                        .child(XmlNode::text_node("faultcode", &fault.code))
+                        .child(XmlNode::text_node("faultstring", &fault.message)),
+                ),
+            )
+    }
+
+    /// Extract a fault from a response document, if it is one.
+    pub fn parse_fault(doc: &XmlNode) -> Option<SoapFault> {
+        let fault = doc.path(&["soap:Body", "soap:Fault"])?;
+        Some(SoapFault {
+            code: fault.find("faultcode").map(|n| n.text.clone())?,
+            message: fault.find("faultstring").map(|n| n.text.clone())?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Envelope {
+        Envelope::request("Solver", "execute")
+            .arg("gridSize", SoapValue::Int(128))
+            .arg("eps", SoapValue::Double(1e-6))
+            .arg("verbose", SoapValue::Bool(true))
+            .arg("label", SoapValue::Str("run 1 <&>".into()))
+            .arg(
+                "payload",
+                SoapValue::Binary {
+                    bytes: 1024.0,
+                    digest: 0xdead_beef,
+                },
+            )
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let env = sample();
+        let doc = env.to_xml();
+        let parsed = Envelope::parse(&doc).unwrap();
+        assert_eq!(parsed, env);
+    }
+
+    #[test]
+    fn envelope_roundtrip_through_text() {
+        let env = sample();
+        let text = env.to_xml().to_xml();
+        let doc = XmlNode::parse(&text).unwrap();
+        assert_eq!(Envelope::parse(&doc).unwrap(), env);
+    }
+
+    #[test]
+    fn binary_payload_dominates_wire_size() {
+        let small = Envelope::request("S", "op").arg("x", SoapValue::Int(1));
+        let big = Envelope::request("S", "op").arg(
+            "x",
+            SoapValue::Binary {
+                bytes: 5.0 * 1024.0 * 1024.0,
+                digest: 1,
+            },
+        );
+        assert!(big.wire_size() > small.wire_size() + 5.0 * 1024.0 * 1024.0);
+        // base64 inflation
+        assert!(big.wire_size() > 5.0 * 1024.0 * 1024.0 * 4.0 / 3.0);
+    }
+
+    #[test]
+    fn fault_roundtrip() {
+        let f = SoapFault::server("staging failed");
+        let doc = Envelope::fault_to_xml(&f);
+        assert_eq!(Envelope::parse_fault(&doc), Some(f));
+    }
+
+    #[test]
+    fn non_fault_has_no_fault() {
+        assert_eq!(Envelope::parse_fault(&sample().to_xml()), None);
+    }
+
+    #[test]
+    fn parse_rejects_non_envelope() {
+        let err = Envelope::parse(&XmlNode::new("html")).unwrap_err();
+        assert_eq!(err.code, "soap:Client");
+    }
+
+    #[test]
+    fn parse_rejects_empty_body() {
+        let doc = XmlNode::new("soap:Envelope").child(XmlNode::new("soap:Body"));
+        assert!(Envelope::parse(&doc).is_err());
+    }
+
+    #[test]
+    fn value_parse_errors_are_client_faults() {
+        let bad = XmlNode::text_node("x", "not-a-number").attr("xsi:type", "xsd:int");
+        let err = SoapValue::from_xml(&bad).unwrap_err();
+        assert_eq!(err.code, "soap:Client");
+        let unknown = XmlNode::text_node("x", "v").attr("xsi:type", "xsd:hyperreal");
+        assert!(SoapValue::from_xml(&unknown).is_err());
+    }
+
+    #[test]
+    fn bool_accepts_numeric_forms() {
+        let one = XmlNode::text_node("b", "1").attr("xsi:type", "xsd:boolean");
+        assert_eq!(SoapValue::from_xml(&one).unwrap(), SoapValue::Bool(true));
+    }
+
+    #[test]
+    fn untyped_defaults_to_string() {
+        let n = XmlNode::text_node("s", "plain");
+        assert_eq!(
+            SoapValue::from_xml(&n).unwrap(),
+            SoapValue::Str("plain".into())
+        );
+    }
+
+    #[test]
+    fn double_roundtrip_precision() {
+        for &x in &[0.0, -1.5, 1e300, 1e-300, std::f64::consts::PI] {
+            let n = SoapValue::Double(x).to_xml("d");
+            assert_eq!(SoapValue::from_xml(&n).unwrap(), SoapValue::Double(x));
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! A UDDI-style registry.
+//!
+//! "All the created Web services are published in an UDDI registry together
+//! with the descriptions, the WSDL files, and the service endpoint to make
+//! it easier to find a service" (§V). The paper runs jUDDI behind
+//! `javax.xml.registry`; this module reproduces the same contract —
+//! publish, inquire by name pattern, fetch details, delete — with
+//! deterministic keys, so the onServe `UddiManager` equivalent and the
+//! service-discovery scenario (§VII-B) work unchanged.
+
+use std::collections::BTreeMap;
+
+/// Where a published service can be reached and described.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BindingTemplate {
+    /// Service endpoint URL.
+    pub access_point: String,
+    /// URL of the WSDL document.
+    pub wsdl_location: String,
+}
+
+/// One published businessService.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BusinessService {
+    /// Registry-assigned key.
+    pub service_key: String,
+    /// Owning business (onServe publishes everything under one entity).
+    pub business: String,
+    /// Service name (what inquiries match on).
+    pub name: String,
+    /// Free-text description.
+    pub description: String,
+    /// Endpoint bindings.
+    pub bindings: Vec<BindingTemplate>,
+}
+
+/// Registry faults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UddiError {
+    /// No service under that key.
+    UnknownKey(String),
+    /// Publishing under a name that exists with a different key.
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for UddiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UddiError::UnknownKey(k) => write!(f, "unknown service key {k}"),
+            UddiError::DuplicateName(n) => write!(f, "service name already published: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for UddiError {}
+
+/// The registry: publish / inquire / get / delete.
+#[derive(Default)]
+pub struct UddiRegistry {
+    services: BTreeMap<String, BusinessService>, // key -> record
+    by_name: BTreeMap<String, String>,           // name -> key
+    next_key: u64,
+    /// Publish/inquiry counters for the evaluation report.
+    publishes: u64,
+    inquiries: u64,
+}
+
+impl UddiRegistry {
+    /// Empty registry.
+    pub fn new() -> UddiRegistry {
+        UddiRegistry::default()
+    }
+
+    /// Publish a service; names must be unique (matching how onServe names
+    /// generated services after their executables). Returns the assigned
+    /// key.
+    pub fn publish(
+        &mut self,
+        business: &str,
+        name: &str,
+        description: &str,
+        binding: BindingTemplate,
+    ) -> Result<String, UddiError> {
+        if self.by_name.contains_key(name) {
+            return Err(UddiError::DuplicateName(name.to_owned()));
+        }
+        self.next_key += 1;
+        self.publishes += 1;
+        // uuid-shaped deterministic key
+        let key = format!(
+            "uuid:{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+            self.next_key,
+            (self.next_key >> 8) & 0xffff,
+            0x4000 | (self.next_key & 0x0fff),
+            0x8000 | ((self.next_key * 7) & 0x3fff),
+            self.next_key.wrapping_mul(0x9e37_79b9)
+        );
+        let record = BusinessService {
+            service_key: key.clone(),
+            business: business.to_owned(),
+            name: name.to_owned(),
+            description: description.to_owned(),
+            bindings: vec![binding],
+        };
+        self.by_name.insert(name.to_owned(), key.clone());
+        self.services.insert(key.clone(), record);
+        Ok(key)
+    }
+
+    /// UDDI `find_service`: `%` is the any-substring wildcard, matching is
+    /// case-insensitive (as in the UDDI spec's default behaviour).
+    pub fn find(&mut self, name_pattern: &str) -> Vec<&BusinessService> {
+        self.inquiries += 1;
+        let pat = name_pattern.to_lowercase();
+        self.services
+            .values()
+            .filter(|s| pattern_matches(&pat, &s.name.to_lowercase()))
+            .collect()
+    }
+
+    /// UDDI `get_serviceDetail`.
+    pub fn get(&mut self, service_key: &str) -> Result<&BusinessService, UddiError> {
+        self.inquiries += 1;
+        self.services
+            .get(service_key)
+            .ok_or_else(|| UddiError::UnknownKey(service_key.to_owned()))
+    }
+
+    /// Update the free-text description of a published service.
+    pub fn update_description(
+        &mut self,
+        service_key: &str,
+        description: &str,
+    ) -> Result<(), UddiError> {
+        let svc = self
+            .services
+            .get_mut(service_key)
+            .ok_or_else(|| UddiError::UnknownKey(service_key.to_owned()))?;
+        svc.description = description.to_owned();
+        Ok(())
+    }
+
+    /// Unpublish a service.
+    pub fn delete(&mut self, service_key: &str) -> Result<BusinessService, UddiError> {
+        let svc = self
+            .services
+            .remove(service_key)
+            .ok_or_else(|| UddiError::UnknownKey(service_key.to_owned()))?;
+        self.by_name.remove(&svc.name);
+        Ok(svc)
+    }
+
+    /// Number of published services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// `(publishes, inquiries)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.publishes, self.inquiries)
+    }
+}
+
+/// `%`-wildcard matching (UDDI's approximate-match syntax).
+fn pattern_matches(pattern: &str, name: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('%').collect();
+    if parts.len() == 1 {
+        return pattern == name;
+    }
+    let mut pos = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        match name[pos..].find(part) {
+            Some(found) => {
+                // a non-leading-wildcard pattern anchors the first part
+                if i == 0 && found != 0 {
+                    return false;
+                }
+                pos += found + part.len();
+            }
+            None => return false,
+        }
+    }
+    // a non-trailing-wildcard pattern anchors the last part
+    if !parts.last().expect("non-empty split").is_empty() && !name.ends_with(parts.last().unwrap())
+    {
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binding(n: &str) -> BindingTemplate {
+        BindingTemplate {
+            access_point: format!("http://appliance:8080/services/{n}"),
+            wsdl_location: format!("http://appliance:8080/services/{n}?wsdl"),
+        }
+    }
+
+    fn registry_with(names: &[&str]) -> UddiRegistry {
+        let mut r = UddiRegistry::new();
+        for n in names {
+            r.publish("Cyberaide onServe", n, "desc", binding(n)).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn publish_and_get() {
+        let mut r = UddiRegistry::new();
+        let key = r
+            .publish("Cyberaide onServe", "Blast", "alignment", binding("Blast"))
+            .unwrap();
+        let svc = r.get(&key).unwrap();
+        assert_eq!(svc.name, "Blast");
+        assert_eq!(svc.business, "Cyberaide onServe");
+        assert_eq!(svc.bindings[0].access_point, "http://appliance:8080/services/Blast");
+        assert!(key.starts_with("uuid:"));
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut r = registry_with(&["Blast"]);
+        let err = r
+            .publish("x", "Blast", "", binding("Blast"))
+            .unwrap_err();
+        assert_eq!(err, UddiError::DuplicateName("Blast".into()));
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        let mut r = UddiRegistry::new();
+        assert!(matches!(r.get("uuid:nope"), Err(UddiError::UnknownKey(_))));
+        assert!(matches!(r.delete("uuid:nope"), Err(UddiError::UnknownKey(_))));
+    }
+
+    #[test]
+    fn exact_find() {
+        let mut r = registry_with(&["Blast", "Solver", "BlastPlus"]);
+        let hits = r.find("Blast");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "Blast");
+    }
+
+    #[test]
+    fn wildcard_find() {
+        let mut r = registry_with(&["Blast", "Solver", "BlastPlus", "megaBlast"]);
+        assert_eq!(r.find("Blast%").len(), 2); // Blast, BlastPlus
+        assert_eq!(r.find("%Blast").len(), 2); // Blast, megaBlast
+        assert_eq!(r.find("%last%").len(), 3);
+        assert_eq!(r.find("%").len(), 4);
+        assert_eq!(r.find("%zzz%").len(), 0);
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        let mut r = registry_with(&["Blast"]);
+        assert_eq!(r.find("blast").len(), 1);
+        assert_eq!(r.find("BLAST%").len(), 1);
+    }
+
+    #[test]
+    fn delete_frees_name() {
+        let mut r = registry_with(&["Blast"]);
+        let key = r.find("Blast")[0].service_key.clone();
+        let svc = r.delete(&key).unwrap();
+        assert_eq!(svc.name, "Blast");
+        assert!(r.is_empty());
+        // name can be reused after deletion
+        assert!(r.publish("b", "Blast", "", binding("Blast")).is_ok());
+    }
+
+    #[test]
+    fn keys_are_unique_and_deterministic() {
+        let mut r1 = registry_with(&["a", "b", "c"]);
+        let mut r2 = registry_with(&["a", "b", "c"]);
+        let k1: Vec<String> = r1.find("%").iter().map(|s| s.service_key.clone()).collect();
+        let k2: Vec<String> = r2.find("%").iter().map(|s| s.service_key.clone()).collect();
+        assert_eq!(k1, k2);
+        let mut uniq = k1.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3);
+    }
+
+    #[test]
+    fn update_description_in_place() {
+        let mut r = registry_with(&["Blast"]);
+        let key = r.find("Blast")[0].service_key.clone();
+        r.update_description(&key, "new words").unwrap();
+        assert_eq!(r.get(&key).unwrap().description, "new words");
+        assert!(matches!(
+            r.update_description("uuid:none", "x"),
+            Err(UddiError::UnknownKey(_))
+        ));
+    }
+
+    #[test]
+    fn counters_track_usage() {
+        let mut r = registry_with(&["a", "b"]);
+        let _ = r.find("%");
+        let key = r.find("a")[0].service_key.clone();
+        let _ = r.get(&key);
+        assert_eq!(r.counters(), (2, 3));
+    }
+}

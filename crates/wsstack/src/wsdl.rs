@@ -1,0 +1,356 @@
+//! WSDL documents: generation and parsing.
+//!
+//! For each uploaded executable, onServe "modifies the service description
+//! file" from a template (§VI) and publishes the WSDL alongside the UDDI
+//! entry; clients then run `wsimport` over it to get a typed stub (§VII-B).
+//! [`WsdlDocument::to_xml`] is the generation half; [`WsdlDocument::parse`]
+//! is the `wsimport` half ([`crate::client`] builds stubs from it).
+
+use crate::soap::SoapValue;
+use crate::xml::{XmlError, XmlNode};
+
+/// Parameter/result types expressible in the generated services.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamType {
+    /// `xsd:string`
+    Str,
+    /// `xsd:int`
+    Int,
+    /// `xsd:double`
+    Double,
+    /// `xsd:boolean`
+    Bool,
+    /// `xsd:base64Binary`
+    Binary,
+}
+
+impl ParamType {
+    /// The XSD name used on the wire.
+    pub fn xsd(self) -> &'static str {
+        match self {
+            ParamType::Str => "xsd:string",
+            ParamType::Int => "xsd:int",
+            ParamType::Double => "xsd:double",
+            ParamType::Bool => "xsd:boolean",
+            ParamType::Binary => "xsd:base64Binary",
+        }
+    }
+
+    /// Parse an XSD name.
+    pub fn from_xsd(s: &str) -> Option<ParamType> {
+        Some(match s {
+            "xsd:string" => ParamType::Str,
+            "xsd:int" => ParamType::Int,
+            "xsd:double" => ParamType::Double,
+            "xsd:boolean" => ParamType::Bool,
+            "xsd:base64Binary" => ParamType::Binary,
+            _ => return None,
+        })
+    }
+
+    /// Whether `value` inhabits this type.
+    pub fn matches(self, value: &SoapValue) -> bool {
+        matches!(
+            (self, value),
+            (ParamType::Str, SoapValue::Str(_))
+                | (ParamType::Int, SoapValue::Int(_))
+                | (ParamType::Double, SoapValue::Double(_))
+                | (ParamType::Bool, SoapValue::Bool(_))
+                | (ParamType::Binary, SoapValue::Binary { .. })
+        )
+    }
+}
+
+/// A named, typed parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WsdlParam {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: ParamType,
+}
+
+impl WsdlParam {
+    /// Convenience constructor.
+    pub fn new(name: &str, ty: ParamType) -> WsdlParam {
+        WsdlParam {
+            name: name.to_owned(),
+            ty,
+        }
+    }
+}
+
+/// One operation (web method).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WsdlOperation {
+    /// Operation name.
+    pub name: String,
+    /// Input parameters in order.
+    pub inputs: Vec<WsdlParam>,
+    /// Result type.
+    pub output: ParamType,
+}
+
+/// A service description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WsdlDocument {
+    /// Service name.
+    pub service: String,
+    /// Endpoint URL the bindings point at.
+    pub endpoint: String,
+    /// Free-text description (the portal's "Description" field).
+    pub documentation: String,
+    /// Operations.
+    pub operations: Vec<WsdlOperation>,
+}
+
+impl WsdlDocument {
+    /// Describe a single-operation service (the common generated shape:
+    /// one `execute` method per uploaded executable).
+    pub fn single_op(
+        service: &str,
+        endpoint: &str,
+        documentation: &str,
+        op: WsdlOperation,
+    ) -> WsdlDocument {
+        WsdlDocument {
+            service: service.to_owned(),
+            endpoint: endpoint.to_owned(),
+            documentation: documentation.to_owned(),
+            operations: vec![op],
+        }
+    }
+
+    /// Find an operation by name.
+    pub fn operation(&self, name: &str) -> Option<&WsdlOperation> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// Generate the WSDL document.
+    pub fn to_xml(&self) -> XmlNode {
+        let mut port_type = XmlNode::new("wsdl:portType")
+            .attr("name", &format!("{}PortType", self.service));
+        for op in &self.operations {
+            let mut input = XmlNode::new("wsdl:input");
+            for p in &op.inputs {
+                input.children.push(
+                    XmlNode::new("wsdl:part")
+                        .attr("name", &p.name)
+                        .attr("type", p.ty.xsd()),
+                );
+            }
+            let output = XmlNode::new("wsdl:output").child(
+                XmlNode::new("wsdl:part")
+                    .attr("name", "return")
+                    .attr("type", op.output.xsd()),
+            );
+            port_type.children.push(
+                XmlNode::new("wsdl:operation")
+                    .attr("name", &op.name)
+                    .child(input)
+                    .child(output),
+            );
+        }
+        let service = XmlNode::new("wsdl:service")
+            .attr("name", &self.service)
+            .child(
+                XmlNode::new("wsdl:port")
+                    .attr("name", &format!("{}Port", self.service))
+                    .child(XmlNode::new("soap:address").attr("location", &self.endpoint)),
+            );
+        XmlNode::new("wsdl:definitions")
+            .attr("name", &self.service)
+            .attr("targetNamespace", &format!("urn:onserve:{}", self.service))
+            .attr("xmlns:wsdl", "http://schemas.xmlsoap.org/wsdl/")
+            .attr("xmlns:soap", "http://schemas.xmlsoap.org/wsdl/soap/")
+            .attr("xmlns:xsd", "http://www.w3.org/2001/XMLSchema")
+            .child(XmlNode::text_node("wsdl:documentation", &self.documentation))
+            .child(port_type)
+            .child(service)
+    }
+
+    /// Serialized document text.
+    pub fn to_text(&self) -> String {
+        self.to_xml().to_xml()
+    }
+
+    /// Parse a WSDL document (from text).
+    pub fn parse_text(text: &str) -> Result<WsdlDocument, String> {
+        let doc = XmlNode::parse(text).map_err(|e: XmlError| e.to_string())?;
+        Self::parse(&doc)
+    }
+
+    /// Parse a WSDL document (from a parsed tree).
+    pub fn parse(doc: &XmlNode) -> Result<WsdlDocument, String> {
+        if doc.name != "wsdl:definitions" {
+            return Err("not a wsdl:definitions document".into());
+        }
+        let service = doc
+            .get_attr("name")
+            .ok_or("missing service name")?
+            .to_owned();
+        let documentation = doc
+            .find("wsdl:documentation")
+            .map(|n| n.text.clone())
+            .unwrap_or_default();
+        let endpoint = doc
+            .path(&["wsdl:service", "wsdl:port", "soap:address"])
+            .and_then(|n| n.get_attr("location"))
+            .ok_or("missing soap:address")?
+            .to_owned();
+        let port_type = doc.find("wsdl:portType").ok_or("missing portType")?;
+        let mut operations = Vec::new();
+        for op_node in port_type.find_all("wsdl:operation") {
+            let name = op_node
+                .get_attr("name")
+                .ok_or("operation missing name")?
+                .to_owned();
+            let mut inputs = Vec::new();
+            if let Some(input) = op_node.find("wsdl:input") {
+                for part in input.find_all("wsdl:part") {
+                    let pname = part.get_attr("name").ok_or("part missing name")?;
+                    let ty = part
+                        .get_attr("type")
+                        .and_then(ParamType::from_xsd)
+                        .ok_or_else(|| format!("bad part type on {pname}"))?;
+                    inputs.push(WsdlParam::new(pname, ty));
+                }
+            }
+            let output = op_node
+                .path(&["wsdl:output", "wsdl:part"])
+                .and_then(|p| p.get_attr("type"))
+                .and_then(ParamType::from_xsd)
+                .ok_or("missing output part")?;
+            operations.push(WsdlOperation {
+                name,
+                inputs,
+                output,
+            });
+        }
+        if operations.is_empty() {
+            return Err("service has no operations".into());
+        }
+        Ok(WsdlDocument {
+            service,
+            endpoint,
+            documentation,
+            operations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WsdlDocument {
+        WsdlDocument::single_op(
+            "BlastService",
+            "http://appliance:8080/services/BlastService",
+            "sequence alignment tool",
+            WsdlOperation {
+                name: "execute".into(),
+                inputs: vec![
+                    WsdlParam::new("sequence", ParamType::Str),
+                    WsdlParam::new("evalue", ParamType::Double),
+                    WsdlParam::new("iterations", ParamType::Int),
+                ],
+                output: ParamType::Binary,
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let w = sample();
+        let parsed = WsdlDocument::parse_text(&w.to_text()).unwrap();
+        assert_eq!(parsed, w);
+    }
+
+    #[test]
+    fn multiple_operations_roundtrip() {
+        let mut w = sample();
+        w.operations.push(WsdlOperation {
+            name: "status".into(),
+            inputs: vec![WsdlParam::new("jobId", ParamType::Int)],
+            output: ParamType::Str,
+        });
+        let parsed = WsdlDocument::parse_text(&w.to_text()).unwrap();
+        assert_eq!(parsed.operations.len(), 2);
+        assert_eq!(parsed, w);
+    }
+
+    #[test]
+    fn operation_lookup() {
+        let w = sample();
+        assert!(w.operation("execute").is_some());
+        assert!(w.operation("nothere").is_none());
+    }
+
+    #[test]
+    fn zero_arg_operation() {
+        let w = WsdlDocument::single_op(
+            "Pinger",
+            "http://x/ping",
+            "",
+            WsdlOperation {
+                name: "ping".into(),
+                inputs: vec![],
+                output: ParamType::Bool,
+            },
+        );
+        let parsed = WsdlDocument::parse_text(&w.to_text()).unwrap();
+        assert_eq!(parsed, w);
+    }
+
+    #[test]
+    fn parse_rejects_non_wsdl() {
+        assert!(WsdlDocument::parse_text("<html/>").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_no_operations() {
+        let doc = XmlNode::new("wsdl:definitions")
+            .attr("name", "X")
+            .child(XmlNode::new("wsdl:portType"))
+            .child(
+                XmlNode::new("wsdl:service").child(
+                    XmlNode::new("wsdl:port")
+                        .child(XmlNode::new("soap:address").attr("location", "http://x")),
+                ),
+            );
+        assert!(WsdlDocument::parse(&doc).unwrap_err().contains("no operations"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_type() {
+        let text = sample()
+            .to_text()
+            .replace("xsd:double", "xsd:quaternion");
+        assert!(WsdlDocument::parse_text(&text).is_err());
+    }
+
+    #[test]
+    fn type_matching() {
+        assert!(ParamType::Int.matches(&SoapValue::Int(3)));
+        assert!(!ParamType::Int.matches(&SoapValue::Str("3".into())));
+        assert!(ParamType::Binary.matches(&SoapValue::Binary {
+            bytes: 1.0,
+            digest: 0
+        }));
+    }
+
+    #[test]
+    fn xsd_names_roundtrip() {
+        for ty in [
+            ParamType::Str,
+            ParamType::Int,
+            ParamType::Double,
+            ParamType::Bool,
+            ParamType::Binary,
+        ] {
+            assert_eq!(ParamType::from_xsd(ty.xsd()), Some(ty));
+        }
+        assert_eq!(ParamType::from_xsd("xsd:fancy"), None);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based invariants of the Web-service substrate.
+
+use proptest::prelude::*;
+use wsstack::soap::Envelope;
+use wsstack::uddi::BindingTemplate;
+use wsstack::{ParamType, SoapValue, UddiRegistry, WsdlDocument, WsdlOperation, WsdlParam, XmlNode};
+
+/// Text that survives our parser's whitespace normalization: either empty
+/// or with non-whitespace at both ends.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("([!-~]([ -~]{0,20}[!-~])?)?").expect("regex")
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z0-9_.:-]{0,12}").expect("regex")
+}
+
+fn arb_xml() -> impl Strategy<Value = XmlNode> {
+    let leaf = (arb_name(), arb_text(), proptest::collection::vec((arb_name(), arb_text()), 0..3))
+        .prop_map(|(name, text, attrs)| {
+            let mut n = XmlNode::text_node(&name, &text);
+            n.attrs = attrs;
+            n
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3),
+            proptest::collection::vec(inner, 1..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut n = XmlNode::new(&name);
+                n.attrs = attrs;
+                n.children = children;
+                n
+            })
+    })
+}
+
+fn arb_soap_value() -> impl Strategy<Value = SoapValue> {
+    prop_oneof![
+        arb_text().prop_map(SoapValue::Str),
+        any::<i64>().prop_map(SoapValue::Int),
+        (-1e30f64..1e30).prop_map(SoapValue::Double),
+        any::<bool>().prop_map(SoapValue::Bool),
+        (0.0f64..1e9, any::<u64>()).prop_map(|(bytes, digest)| SoapValue::Binary {
+            bytes: bytes.trunc(),
+            digest
+        }),
+    ]
+}
+
+fn arb_param_type() -> impl Strategy<Value = ParamType> {
+    prop_oneof![
+        Just(ParamType::Str),
+        Just(ParamType::Int),
+        Just(ParamType::Double),
+        Just(ParamType::Bool),
+        Just(ParamType::Binary),
+    ]
+}
+
+proptest! {
+    /// XML writer → parser is the identity for arbitrary trees.
+    #[test]
+    fn xml_roundtrip(doc in arb_xml()) {
+        let text = doc.to_xml();
+        let parsed = XmlNode::parse(&text);
+        prop_assert!(parsed.is_ok(), "parse failed on {}: {:?}", text, parsed.err());
+        prop_assert_eq!(parsed.unwrap(), doc);
+    }
+
+    /// SOAP envelopes round-trip through full serialization for arbitrary
+    /// argument sets.
+    #[test]
+    fn envelope_roundtrip(
+        service in proptest::string::string_regex("[A-Za-z][A-Za-z0-9_]{0,12}").expect("regex"),
+        op in proptest::string::string_regex("[a-z][A-Za-z0-9_]{0,12}").expect("regex"),
+        args in proptest::collection::btree_map(
+            proptest::string::string_regex("[a-z][a-z0-9_]{0,8}").expect("regex"),
+            arb_soap_value(),
+            0..6,
+        ),
+    ) {
+        let mut env = Envelope::request(&service, &op);
+        env.args = args;
+        let text = env.to_xml().to_xml();
+        let doc = XmlNode::parse(&text).unwrap();
+        let parsed = Envelope::parse(&doc);
+        prop_assert!(parsed.is_ok(), "{:?} on {}", parsed.err(), text);
+        prop_assert_eq!(parsed.unwrap(), env);
+    }
+
+    /// WSDL documents round-trip for arbitrary signatures.
+    #[test]
+    fn wsdl_roundtrip(
+        service in proptest::string::string_regex("[A-Za-z][A-Za-z0-9_]{0,12}").expect("regex"),
+        doc_text in arb_text(),
+        ops in proptest::collection::vec(
+            (
+                proptest::string::string_regex("[a-z][A-Za-z0-9_]{0,10}").expect("regex"),
+                proptest::collection::vec(
+                    (proptest::string::string_regex("[a-z][a-z0-9_]{0,8}").expect("regex"), arb_param_type()),
+                    0..5,
+                ),
+                arb_param_type(),
+            ),
+            1..4,
+        ),
+    ) {
+        let operations: Vec<WsdlOperation> = ops
+            .into_iter()
+            .map(|(name, params, output)| WsdlOperation {
+                name,
+                inputs: params
+                    .into_iter()
+                    .map(|(n, t)| WsdlParam { name: n, ty: t })
+                    .collect(),
+                output,
+            })
+            .collect();
+        let w = WsdlDocument {
+            service,
+            endpoint: "http://appliance:8080/services/x".into(),
+            documentation: doc_text,
+            operations,
+        };
+        let parsed = WsdlDocument::parse_text(&w.to_text());
+        prop_assert!(parsed.is_ok(), "{:?}", parsed.err());
+        prop_assert_eq!(parsed.unwrap(), w);
+    }
+
+    /// UDDI: every published service is found by its exact name, by the
+    /// universal wildcard, and by any substring pattern of its name.
+    #[test]
+    fn uddi_find_properties(
+        names in proptest::collection::btree_set(
+            proptest::string::string_regex("[A-Za-z][A-Za-z0-9_-]{0,14}").expect("regex"),
+            1..20,
+        ),
+    ) {
+        let mut reg = UddiRegistry::new();
+        for n in &names {
+            reg.publish("b", n, "", BindingTemplate {
+                access_point: format!("http://x/{n}"),
+                wsdl_location: String::new(),
+            }).unwrap();
+        }
+        prop_assert_eq!(reg.find("%").len(), names.len());
+        for n in &names {
+            let exact = reg.find(n);
+            prop_assert!(exact.iter().any(|s| &s.name == n), "exact miss for {}", n);
+            if n.len() >= 3 {
+                let mid = &n[1..n.len() - 1];
+                let pat = format!("%{mid}%");
+                prop_assert!(
+                    reg.find(&pat).iter().any(|s| &s.name == n),
+                    "substring miss: {} in {}", pat, n
+                );
+            }
+        }
+    }
+
+    /// Wire size grows monotonically with binary payload size.
+    #[test]
+    fn envelope_wire_size_monotone(a in 0.0f64..1e8, b in 0.0f64..1e8) {
+        let mk = |bytes: f64| {
+            Envelope::request("S", "op")
+                .arg("d", SoapValue::Binary { bytes, digest: 1 })
+                .wire_size()
+        };
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(mk(lo) <= mk(hi));
+    }
+}

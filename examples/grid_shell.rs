@@ -1,0 +1,50 @@
+//! Cyberaide Shell session: the *manual* JSE workflow the paper's §III
+//! toolkit exposed, and exactly what onServe automates away. A scripted
+//! shell session authenticates, inspects the Grid, stages a binary,
+//! submits a job, discovers that the status interface is broken (the
+//! paper's workaround!) and falls back to tentative output polling.
+//!
+//! Run with: `cargo run --example grid_shell`
+
+use cyberaide::Shell;
+use onserve::deployment::{Deployment, DeploymentSpec};
+use simkit::Sim;
+use std::rc::Rc;
+
+fn main() {
+    let mut sim = Sim::new(31);
+    let d = Deployment::build(&mut sim, &DeploymentSpec::default());
+    let shell = Shell::new(Rc::clone(&d.agent));
+
+    let script: Vec<String> = [
+        "help",
+        "auth alice s3cret",
+        "info",
+        "stage tacc blast.exe 2097152",
+        "submit tacc blast.exe 120 65536 --evalue 1e-5",
+        "status tacc 0",
+        "poll tacc 0",
+        "wait tacc 0 9",
+        "logout",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+
+    shell.run_script(&mut sim, script, |sim, transcript| {
+        for (line, result) in transcript {
+            println!("cyberaide> {line}");
+            match result {
+                Ok(out) => {
+                    for l in out.lines() {
+                        println!("  {l}");
+                    }
+                }
+                Err(e) => println!("  error: {e}"),
+            }
+            println!();
+        }
+        println!("(session ended at t={})", sim.now());
+    });
+    sim.run();
+}

@@ -1,0 +1,106 @@
+//! Parameter-sweep science workload: the "lot of relatively small files"
+//! scenario the paper calls out as onServe's sweet spot — "the provided
+//! solution is quite good in a scenario using a lot of relatively small
+//! files. The network limitation doesn't play a huge role in this case and
+//! K-GRAM permits to submit a large number of jobs quite efficiently"
+//! (§VIII-B).
+//!
+//! One solver is uploaded once; a sweep of invocations with different
+//! parameters then runs concurrently on the Grid. The report shows the
+//! sweep's makespan, per-run latency distribution and where the bytes
+//! went.
+//!
+//! Run with: `cargo run --example param_sweep`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use onserve::deployment::{Deployment, DeploymentSpec};
+use onserve::profile::ExecutionProfile;
+use simkit::report::TextTable;
+use simkit::stats::summarize;
+use simkit::{Duration, Sim, KB};
+use wsstack::SoapValue;
+
+fn main() {
+    let mut sim = Sim::new(7);
+    let d = Deployment::build(&mut sim, &DeploymentSpec::default());
+
+    // one small solver, many runs
+    let profile = ExecutionProfile {
+        runtime: Duration::from_secs(180),
+        runtime_jitter: 0.15,
+        cores: 4,
+        output_bytes: 48.0 * KB,
+        walltime_factor: 3.0,
+    };
+    let req = d.upload_request(
+        "heatsolver.exe",
+        96 * 1024,
+        profile,
+        &[("alpha", "double"), ("steps", "int")],
+    );
+    d.portal.upload(&mut sim, req, |_, r| {
+        r.expect("publish");
+    });
+    sim.run();
+    println!("heatsolver published; starting 24-point parameter sweep\n");
+
+    let t0 = sim.now();
+    let latencies: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+    for i in 0..24 {
+        let alpha = 0.05 * (i as f64 + 1.0);
+        let lat = latencies.clone();
+        let started = sim.now();
+        d.invoke(
+            &mut sim,
+            "heatsolver",
+            &[
+                ("alpha", SoapValue::Double(alpha)),
+                ("steps", SoapValue::Int(1000 + 50 * i)),
+            ],
+            move |sim, r| {
+                r.expect("sweep point");
+                lat.borrow_mut().push((sim.now() - started).as_secs_f64());
+            },
+        );
+    }
+    sim.run();
+    let makespan = (sim.now() - t0).as_secs_f64();
+    let lats = latencies.borrow();
+    assert_eq!(lats.len(), 24, "all sweep points must complete");
+    let s = summarize(&lats);
+
+    let mut table = TextTable::new(vec!["metric", "value"]);
+    table
+        .row(vec!["sweep points".to_string(), "24".into()])
+        .row(vec!["makespan".into(), format!("{makespan:.0} s")])
+        .row(vec!["mean latency".into(), format!("{:.0} s", s.mean)])
+        .row(vec!["p50 latency".into(), format!("{:.0} s", s.p50)])
+        .row(vec!["p95 latency".into(), format!("{:.0} s", s.p95)])
+        .row(vec![
+            "speedup vs serial".into(),
+            format!("{:.1}x", s.mean * 24.0 / makespan),
+        ]);
+    println!("{}", table.render());
+
+    // where the load landed
+    let mut sites = TextTable::new(vec!["site", "core-seconds"]);
+    for site in d.grid.sites() {
+        let cs = sim
+            .recorder_ref()
+            .total(&format!("{}.core_seconds", site.name()));
+        if cs > 0.0 {
+            sites.row(vec![site.name().to_string(), format!("{cs:.0}")]);
+        }
+    }
+    println!("{}", sites.render());
+    println!(
+        "appliance egress {:.1} MB (24 stagings of one 96 KB solver + control)",
+        sim.recorder_ref().total("appliance.net.out.bytes") / (1024.0 * 1024.0)
+    );
+    println!(
+        "tentative output polls issued: {}",
+        d.agent.polls_issued()
+    );
+}

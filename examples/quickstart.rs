@@ -1,0 +1,148 @@
+//! Quickstart: the paper's whole story in one run.
+//!
+//! 1. Build the Cyberaide onServe appliance image from its recipe and
+//!    deploy it on demand (§V step 1).
+//! 2. Upload an executable through the portal; onServe stores it,
+//!    generates a Web service and publishes it in the UDDI registry
+//!    (§VII-A).
+//! 3. Discover the service, generate a client stub from its WSDL, invoke
+//!    it; onServe translates the invocation to the JSE model and runs the
+//!    job on the simulated TeraGrid (§VII-B).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use onserve::deployment::{Deployment, DeploymentSpec};
+use onserve::profile::ExecutionProfile;
+use simkit::{Duration, Link, Sim, SimTime, GBIT_PER_S, KB};
+use vappliance::{build_image, Appliance, ApplianceRecipe, DeploySpec};
+use wsstack::{ClientStub, SoapValue};
+
+fn main() {
+    let mut sim = Sim::new(2010);
+    println!("== Cyberaide onServe quickstart ==\n");
+
+    // ---- 1. build + deploy the appliance on demand -------------------
+    let builder = simkit::Host::new(&simkit::HostSpec::commodity("builder"));
+    let repo_link = Link::new(
+        "repo",
+        "mirror",
+        "builder",
+        GBIT_PER_S / 8.0,
+        Duration::from_millis(15),
+    );
+    let deploy_link = Link::new(
+        "imgstore",
+        "builder",
+        "vmm",
+        GBIT_PER_S,
+        Duration::from_millis(2),
+    );
+    let recipe = ApplianceRecipe::cyberaide_onserve();
+    println!(
+        "building appliance image: {} packages, {:.0} MB of downloads",
+        recipe.packages.len(),
+        recipe.download_bytes() / (1024.0 * 1024.0)
+    );
+    let running_at = Rc::new(Cell::new(SimTime::ZERO));
+    let r2 = running_at.clone();
+    build_image(&mut sim, &builder, &repo_link, &recipe, move |sim, img| {
+        println!(
+            "t={:>8}  image built ({:.0} MB)",
+            sim.now(),
+            img.bytes / (1024.0 * 1024.0)
+        );
+        Appliance::deploy(
+            sim,
+            &img,
+            &deploy_link,
+            &DeploySpec::default_for("appliance-vm"),
+            move |sim, app| {
+                println!(
+                    "t={:>8}  appliance running ({} services booted)",
+                    sim.now(),
+                    app.services().len()
+                );
+                r2.set(sim.now());
+            },
+        );
+    });
+    sim.run();
+    assert!(running_at.get() > SimTime::ZERO);
+
+    // ---- 2. the running middleware stack ------------------------------
+    let d = Deployment::build(&mut sim, &DeploymentSpec::default());
+    println!("\nt={:>8}  onServe stack up: portal + SOAP container + jUDDI + MySQL + agent", sim.now());
+
+    let profile = ExecutionProfile::quick()
+        .lasting(Duration::from_secs(45))
+        .producing(96.0 * KB);
+    let req = d.upload_request("mandelbrot.exe", 300 * 1024, profile, &[("depth", "int")]);
+    println!(
+        "t={:>8}  uploading {} ({} bytes) through the portal...",
+        sim.now(),
+        req.file_name,
+        req.data.len()
+    );
+    d.portal.upload(&mut sim, req, |sim, r| {
+        let svc = r.expect("publish");
+        println!(
+            "t={:>8}  published '{}' at {} (UDDI key {})",
+            sim.now(),
+            svc.service_name,
+            svc.endpoint,
+            svc.service_key
+        );
+    });
+    sim.run();
+
+    // ---- 3. discover + invoke like an external consumer ---------------
+    let (wsdl_location, endpoint) = {
+        let mut reg = d.onserve.registry().borrow_mut();
+        let hit = &reg.find("mandel%")[0];
+        (
+            hit.bindings[0].wsdl_location.clone(),
+            hit.bindings[0].access_point.clone(),
+        )
+    };
+    println!("\ndiscovered in UDDI: endpoint {endpoint}\n  wsdl {wsdl_location}");
+    let stub: ClientStub = d.onserve.client_for("mandelbrot").expect("wsimport");
+    println!(
+        "generated client stub: operations = {:?}",
+        stub.operations().collect::<Vec<_>>()
+    );
+    let t0 = sim.now();
+    let done_at = Rc::new(Cell::new(SimTime::ZERO));
+    let done2 = done_at.clone();
+    d.invoke(
+        &mut sim,
+        "mandelbrot",
+        &[("depth", SoapValue::Int(2048))],
+        move |sim, r| {
+            match r.expect("invocation") {
+                SoapValue::Binary { bytes, .. } => println!(
+                    "t={:>8}  result delivered: {:.0} KB of output",
+                    sim.now(),
+                    bytes / 1024.0
+                ),
+                other => println!("unexpected result {other:?}"),
+            }
+            done2.set(sim.now());
+        },
+    );
+    sim.run();
+    assert!(done_at.get() > t0);
+    println!(
+        "\nSaaS invocation wall time: {} (job runtime was 45s)",
+        done_at.get() - t0
+    );
+    let (inv, fail) = d.onserve.counters();
+    println!("middleware counters: {inv} invocation(s), {fail} failure(s)");
+    println!(
+        "appliance egress {:.0} KB, ingress {:.0} KB",
+        sim.recorder_ref().total("appliance.net.out.bytes") / 1024.0,
+        sim.recorder_ref().total("appliance.net.in.bytes") / 1024.0,
+    );
+}

@@ -1,0 +1,239 @@
+//! The full SaaS stack under realistic Grid contention: background
+//! workloads keep the chosen site's batch queue busy while service
+//! invocations arrive. The paper's overhead story lives or dies on queue
+//! wait, so these tests pin down how contention shows up at the SOAP
+//! consumer — slower, but never lost.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use gridsim::BackgroundLoad;
+use onserve::deployment::{Deployment, DeploymentSpec};
+use onserve::profile::ExecutionProfile;
+use onserve::OnServeConfig;
+use simkit::{Duration, Sim, SimTime, KB};
+
+fn deploy_pinned(sim: &mut Sim, site: &str) -> Deployment {
+    let spec = DeploymentSpec {
+        config: OnServeConfig {
+            broker: gridsim::BrokerPolicy::Fixed(site.into()),
+            // generous polling budget: queue wait counts against it
+            poll_timeout: Duration::from_secs(48 * 3600),
+            ..OnServeConfig::default()
+        },
+        ..DeploymentSpec::default()
+    };
+    Deployment::build(sim, &spec)
+}
+
+fn publish_and_time_one(sim: &mut Sim, d: &Deployment) -> f64 {
+    let done_at = Rc::new(Cell::new(-1.0));
+    let da = done_at.clone();
+    let t0 = sim.now();
+    d.invoke(sim, "probe", &[], move |sim, r| {
+        r.expect("invoke");
+        da.set(sim.now().as_secs_f64());
+    });
+    sim.run();
+    assert!(done_at.get() >= 0.0);
+    done_at.get() - t0.as_secs_f64()
+}
+
+#[test]
+fn contention_slows_but_never_loses_invocations() {
+    // quiet baseline
+    let mut quiet = Sim::new(60);
+    let dq = deploy_pinned(&mut quiet, "ucanl");
+    let req = dq.upload_request(
+        "probe.exe",
+        16 * 1024,
+        ExecutionProfile::quick()
+            .lasting(Duration::from_secs(60))
+            .on_cores(4)
+            .producing(2.0 * KB),
+        &[],
+    );
+    dq.portal.upload(&mut quiet, req, |_, r| {
+        r.expect("publish");
+    });
+    quiet.run();
+    let quiet_latency = publish_and_time_one(&mut quiet, &dq);
+
+    // loaded: heavy background stream on the same (small) site
+    let mut busy = Sim::new(60);
+    let db = deploy_pinned(&mut busy, "ucanl");
+    let req = db.upload_request(
+        "probe.exe",
+        16 * 1024,
+        ExecutionProfile::quick()
+            .lasting(Duration::from_secs(60))
+            .on_cores(4)
+            .producing(2.0 * KB),
+        &[],
+    );
+    db.portal.upload(&mut busy, req, |_, r| {
+        r.expect("publish");
+    });
+    busy.run();
+    let site = Rc::clone(db.grid.site("ucanl").unwrap());
+    // wide, long background jobs: the 64-core site is saturated with no
+    // backfill holes a 4-core probe could slip into
+    BackgroundLoad {
+        mean_interarrival: Duration::from_secs(10),
+        min_runtime: Duration::from_secs(600),
+        max_runtime: Duration::from_secs(4 * 3600),
+        alpha: 1.5,
+        max_cores: 64,
+        horizon: busy.now() + Duration::from_secs(4 * 3600),
+    }
+    .start(&mut busy, &site);
+    // let the queue build up
+    let warm = busy.now() + Duration::from_secs(1800);
+    busy.run_until(warm);
+    let busy_latency = publish_and_time_one(&mut busy, &db);
+
+    assert!(
+        busy_latency > quiet_latency,
+        "contention must add queue wait: quiet {quiet_latency}s vs busy {busy_latency}s"
+    );
+    assert_eq!(db.onserve.counters().1, 0, "no failures under contention");
+}
+
+#[test]
+fn broker_routes_around_a_loaded_site() {
+    let mut sim = Sim::new(61);
+    // ShortestWait broker instead of a pinned site
+    let spec = DeploymentSpec {
+        config: OnServeConfig {
+            broker: gridsim::BrokerPolicy::ShortestWait,
+            ..OnServeConfig::default()
+        },
+        ..DeploymentSpec::default()
+    };
+    let d = Deployment::build(&mut sim, &spec);
+    let req = d.upload_request(
+        "probe.exe",
+        16 * 1024,
+        ExecutionProfile::quick()
+            .lasting(Duration::from_secs(30))
+            .producing(1.0 * KB),
+        &[],
+    );
+    d.portal.upload(&mut sim, req, |_, r| {
+        r.expect("publish");
+    });
+    sim.run();
+    // saturate a couple of sites with background work
+    for name in ["ncsa", "tacc"] {
+        let site = Rc::clone(d.grid.site(name).unwrap());
+        BackgroundLoad::heavy(sim.now() + Duration::from_secs(2 * 3600)).start(&mut sim, &site);
+    }
+    let warm = sim.now() + Duration::from_secs(900);
+    sim.run_until(warm);
+    // the probe must land on an unloaded site and finish promptly
+    let latency = publish_and_time_one(&mut sim, &d);
+    assert!(
+        latency < 120.0,
+        "broker should avoid the saturated sites (latency {latency}s)"
+    );
+    // and the loaded sites did real background work
+    let bg: f64 = ["ncsa", "tacc"]
+        .iter()
+        .map(|n| sim.recorder_ref().total(&format!("{n}.core_seconds")))
+        .sum();
+    assert!(bg > 0.0);
+}
+
+#[test]
+fn many_invocations_interleave_with_background_jobs() {
+    let mut sim = Sim::new(62);
+    let d = deploy_pinned(&mut sim, "psc");
+    let req = d.upload_request(
+        "probe.exe",
+        8 * 1024,
+        ExecutionProfile::quick()
+            .lasting(Duration::from_secs(45))
+            .producing(1.0 * KB),
+        &[],
+    );
+    d.portal.upload(&mut sim, req, |_, r| {
+        r.expect("publish");
+    });
+    sim.run();
+    let site = Rc::clone(d.grid.site("psc").unwrap());
+    BackgroundLoad::moderate(sim.now() + Duration::from_secs(3 * 3600)).start(&mut sim, &site);
+    let n = 12;
+    let done = Rc::new(Cell::new(0u32));
+    let base = sim.now();
+    for i in 0..n {
+        // stagger arrivals through the background stream
+        sim.run_until(base + Duration::from_secs(120 * i as u64));
+        let c2 = done.clone();
+        d.invoke(&mut sim, "probe", &[], move |_, r| {
+            r.expect("invoke");
+            c2.set(c2.get() + 1);
+        });
+    }
+    sim.run();
+    assert_eq!(done.get(), n);
+    assert_eq!(d.onserve.counters(), (n as u64, 0));
+    let _ = SimTime::ZERO;
+}
+
+#[test]
+fn retries_ride_out_a_maintenance_window() {
+    // scheduled maintenance on the broker's favourite site; the retry
+    // extension re-brokers the invocation to a healthy one
+    let mut sim = Sim::new(63);
+    let spec = DeploymentSpec {
+        config: OnServeConfig {
+            job_retries: 3,
+            broker: gridsim::BrokerPolicy::MostFreeCores,
+            ..OnServeConfig::default()
+        },
+        ..DeploymentSpec::default()
+    };
+    let d = Deployment::build(&mut sim, &spec);
+    let req = d.upload_request(
+        "steady.exe",
+        16 * 1024,
+        ExecutionProfile::quick()
+            .lasting(Duration::from_secs(300))
+            .producing(1.0 * KB),
+        &[],
+    );
+    d.portal.upload(&mut sim, req, |_, r| {
+        r.expect("publish");
+    });
+    sim.run();
+    // MostFreeCores picks tacc (largest); schedule its maintenance to hit
+    // mid-job
+    let tacc = Rc::clone(d.grid.site("tacc").unwrap());
+    let base = sim.now();
+    gridsim::Maintenance::window(
+        base + Duration::from_secs(120),
+        base + Duration::from_secs(3600),
+        60,
+    )
+    .schedule(&mut sim, &tacc);
+    let ok = Rc::new(Cell::new(false));
+    let o = ok.clone();
+    d.invoke(&mut sim, "steady", &[], move |_, r| {
+        o.set(r.is_ok());
+    });
+    sim.run();
+    assert!(ok.get(), "invocation must survive the maintenance window");
+    assert_eq!(d.onserve.counters(), (1, 0));
+    // the job finished somewhere other than the serviced site
+    let elsewhere = d
+        .grid
+        .sites()
+        .iter()
+        .filter(|s| s.name() != "tacc")
+        .map(|s| {
+            sim.recorder_ref()
+                .total(&format!("{}.core_seconds", s.name()))
+        })
+        .sum::<f64>();
+    assert!(elsewhere > 0.0);
+}

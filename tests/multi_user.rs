@@ -1,0 +1,222 @@
+//! Multi-tenant behaviour: "The access layer can be deployed locally by a
+//! user, or deployed in a shared remote location and used by multiple
+//! users" (§V). Several services, several concurrent consumers, and
+//! concurrent portal uploads must all share the appliance's resources
+//! without interference beyond queueing.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use onserve::deployment::{Deployment, DeploymentSpec};
+use onserve::profile::ExecutionProfile;
+use simkit::{Duration, Sim, SimTime, KB};
+use wsstack::SoapValue;
+
+fn publish_n(sim: &mut Sim, d: &Deployment, n: usize, profile: ExecutionProfile) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..n {
+        let name = format!("svc{i}.exe");
+        let req = d.upload_request(&name, 32 * 1024, profile, &[]);
+        d.portal.upload(sim, req, |_, r| {
+            r.expect("publish");
+        });
+        sim.run();
+        names.push(format!("svc{i}"));
+    }
+    names
+}
+
+#[test]
+fn ten_concurrent_consumers_all_complete() {
+    let mut sim = Sim::new(30);
+    let d = Deployment::build(&mut sim, &DeploymentSpec::default());
+    let names = publish_n(
+        &mut sim,
+        &d,
+        10,
+        ExecutionProfile::quick().producing(8.0 * KB),
+    );
+    let completed = Rc::new(Cell::new(0u32));
+    for name in &names {
+        let c = completed.clone();
+        d.invoke(&mut sim, name, &[], move |_, r| {
+            assert!(matches!(r, Ok(SoapValue::Binary { .. })), "{r:?}");
+            c.set(c.get() + 1);
+        });
+    }
+    sim.run();
+    assert_eq!(completed.get(), 10);
+    assert_eq!(d.onserve.counters(), (10, 0));
+}
+
+#[test]
+fn concurrent_uploads_share_the_lan_and_all_publish() {
+    let mut sim = Sim::new(31);
+    let d = Deployment::build(&mut sim, &DeploymentSpec::default());
+    let n = 8;
+    let published = Rc::new(Cell::new(0u32));
+    let finish_times: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+    for i in 0..n {
+        let req = d.upload_request(
+            &format!("u{i}.exe"),
+            5 * 1024 * 1024,
+            ExecutionProfile::quick(),
+            &[],
+        );
+        let p = published.clone();
+        let f = finish_times.clone();
+        d.portal.upload(&mut sim, req, move |sim, r| {
+            r.expect("publish");
+            p.set(p.get() + 1);
+            f.borrow_mut().push(sim.now().as_secs_f64());
+        });
+    }
+    sim.run();
+    assert_eq!(published.get(), n);
+    assert_eq!(
+        d.onserve.registry().borrow_mut().find("%").len(),
+        n as usize
+    );
+    // all eight 5 MB files landed in the database
+    assert_eq!(d.onserve.db().db().borrow().len(), n as usize);
+}
+
+#[test]
+fn serial_uploads_are_faster_per_item_than_concurrent() {
+    let run = |concurrent: bool| {
+        let mut sim = Sim::new(32);
+        let d = Deployment::build(&mut sim, &DeploymentSpec::default());
+        let last_done = Rc::new(Cell::new(0.0));
+        let n = 4;
+        if concurrent {
+            for i in 0..n {
+                let req = d.upload_request(
+                    &format!("c{i}.exe"),
+                    20 * 1024 * 1024,
+                    ExecutionProfile::quick(),
+                    &[],
+                );
+                let l = last_done.clone();
+                d.portal.upload(&mut sim, req, move |sim, r| {
+                    r.expect("publish");
+                    l.set(sim.now().as_secs_f64());
+                });
+            }
+            sim.run();
+        } else {
+            for i in 0..n {
+                let req = d.upload_request(
+                    &format!("c{i}.exe"),
+                    20 * 1024 * 1024,
+                    ExecutionProfile::quick(),
+                    &[],
+                );
+                let l = last_done.clone();
+                d.portal.upload(&mut sim, req, move |sim, r| {
+                    r.expect("publish");
+                    l.set(sim.now().as_secs_f64());
+                });
+                sim.run();
+            }
+        }
+        last_done.get()
+    };
+    let serial_makespan = run(false);
+    let concurrent_makespan = run(true);
+    // same total work: makespans are close; concurrency can't beat the
+    // shared disk/CPU bottleneck by much, and queueing shouldn't explode it
+    assert!(concurrent_makespan > 0.0 && serial_makespan > 0.0);
+    assert!(
+        concurrent_makespan < serial_makespan * 1.5,
+        "concurrent {concurrent_makespan} vs serial {serial_makespan}"
+    );
+}
+
+#[test]
+fn mixed_workload_uploads_and_invocations_interleave() {
+    let mut sim = Sim::new(33);
+    let d = Deployment::build(&mut sim, &DeploymentSpec::default());
+    let names = publish_n(
+        &mut sim,
+        &d,
+        3,
+        ExecutionProfile::quick().producing(4.0 * KB),
+    );
+    let invoked = Rc::new(Cell::new(0u32));
+    let uploaded = Rc::new(Cell::new(0u32));
+    // three invocations start now...
+    for name in &names {
+        let c = invoked.clone();
+        d.invoke(&mut sim, name, &[], move |_, r| {
+            r.expect("invoke");
+            c.set(c.get() + 1);
+        });
+    }
+    // ...while two more uploads arrive mid-flight
+    for i in 0..2 {
+        let req = d.upload_request(
+            &format!("late{i}.exe"),
+            2 * 1024 * 1024,
+            ExecutionProfile::quick(),
+            &[],
+        );
+        let portal = Rc::clone(&d.portal);
+        let u = uploaded.clone();
+        sim.schedule(Duration::from_secs(5 + i), move |sim| {
+            let u2 = u.clone();
+            portal.upload(sim, req, move |_, r| {
+                r.expect("late publish");
+                u2.set(u2.get() + 1);
+            });
+        });
+    }
+    sim.run();
+    assert_eq!(invoked.get(), 3);
+    assert_eq!(uploaded.get(), 2);
+    assert_eq!(d.onserve.registry().borrow_mut().find("%").len(), 5);
+}
+
+#[test]
+fn grid_queue_contention_delays_but_does_not_fail() {
+    // saturate the grid with background-like load submitted through the
+    // middleware itself: more invocations than free cores on the pinned
+    // site, all on a small site
+    let mut sim = Sim::new(34);
+    let spec = DeploymentSpec {
+        config: onserve::OnServeConfig {
+            broker: gridsim::BrokerPolicy::Fixed("ucanl".into()), // 16×4 cores
+            ..onserve::OnServeConfig::default()
+        },
+        ..DeploymentSpec::default()
+    };
+    let d = Deployment::build(&mut sim, &spec);
+    let req = d.upload_request(
+        "wide.exe",
+        16 * 1024,
+        ExecutionProfile::quick()
+            .on_cores(32)
+            .lasting(Duration::from_secs(120))
+            .producing(1.0 * KB),
+        &[],
+    );
+    d.portal.upload(&mut sim, req, |_, r| {
+        r.expect("publish");
+    });
+    sim.run();
+    // ucanl has 64 cores total; 4 × 32-core jobs → at most 2 run at once
+    let done = Rc::new(Cell::new(0u32));
+    let t0 = sim.now();
+    for _ in 0..4 {
+        let c = done.clone();
+        d.invoke(&mut sim, "wide", &[], move |_, r| {
+            r.expect("invoke");
+            c.set(c.get() + 1);
+        });
+    }
+    sim.run();
+    assert_eq!(done.get(), 4);
+    let elapsed = (sim.now() - t0).as_secs_f64();
+    // two waves of 120 s jobs → well over 240 s wall, plus overheads
+    assert!(elapsed > 240.0, "elapsed {elapsed}");
+    let _ = SimTime::ZERO;
+}
