@@ -1,0 +1,96 @@
+//! Criterion benches for the simkit kernel hot paths — the same scenarios
+//! `--bin perfbaseline` tracks in `BENCH_kernel.json`, exposed through the
+//! criterion harness for interactive comparison runs.
+//!
+//! Run with: `cargo bench -p onserve-bench --bench kernel`
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use onserve::deployment::DeploymentSpec;
+use onserve::profile::ExecutionProfile;
+use onserve_bench::{Runner, KB};
+use simkit::{Duration, PsServer, Recorder, ServerConfig, Sim, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    const EVENTS: u64 = 1024;
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("queue_push_pop_1024", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            for i in 0..EVENTS {
+                sim.schedule(Duration::from_micros(i), |_| {});
+            }
+            sim.run();
+            black_box(sim.now())
+        })
+    });
+    g.finish();
+}
+
+fn bench_ps_flows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server");
+    for n in [2u64, 16, 64] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("ps_flows_{n}"), |b| {
+            b.iter(|| {
+                let mut sim = Sim::new(2);
+                let srv = PsServer::new(ServerConfig::named("srv", 100.0));
+                for i in 0..n {
+                    PsServer::submit(&srv, &mut sim, 1.0 + i as f64, |_| {});
+                }
+                sim.run();
+                black_box(sim.now())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_recorder(c: &mut Criterion) {
+    const SPANS: u64 = 256;
+    let mut g = c.benchmark_group("metrics");
+    g.throughput(Throughput::Elements(SPANS));
+    g.bench_function("add_span_256", |b| {
+        b.iter(|| {
+            let mut rec = Recorder::new(Duration::from_secs(3));
+            for i in 0..SPANS {
+                let t0 = SimTime::from_secs_f64(i as f64 * 0.7);
+                let t1 = SimTime::from_secs_f64(i as f64 * 0.7 + 0.9);
+                rec.add_span("host.cpu.busy", t0, t1, 0.9);
+            }
+            black_box(rec.total("host.cpu.busy"))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.bench_function("fig6_invocation", |b| {
+        b.iter(|| {
+            let mut r = Runner::new(6, &DeploymentSpec::default());
+            r.publish(
+                "small.exe",
+                64,
+                ExecutionProfile::quick()
+                    .lasting(Duration::from_secs(60))
+                    .producing(48.0 * KB),
+                &[],
+            );
+            let (res, _) = r.invoke_blocking("small", &[]);
+            res.expect("invocation");
+            black_box(r.sim.now())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernel,
+    bench_event_queue,
+    bench_ps_flows,
+    bench_recorder,
+    bench_fig6_pipeline
+);
+criterion_main!(kernel);

@@ -23,7 +23,7 @@ use gridsim::scheduler::SchedPolicy;
 use onserve::deployment::DeploymentSpec;
 use onserve::profile::ExecutionProfile;
 use onserve::OnServeConfig;
-use onserve_bench::{Runner, KB};
+use onserve_bench::{par_sweep, Runner, KB};
 use simkit::report::TextTable;
 use simkit::{Duration, Sim, SimTime, MB};
 
@@ -46,10 +46,11 @@ fn main() {
     // ---- 1. storage strategy --------------------------------------------
     println!("==== ablation 1: storage write strategy (10 x 5 MB uploads) ====\n");
     let mut t = TextTable::new(vec!["strategy", "makespan", "disk written"]);
-    for (label, strategy) in [
+    let strategies = [
         ("double-write (paper)", WriteStrategy::DoubleWrite),
         ("direct", WriteStrategy::Direct),
-    ] {
+    ];
+    for row in par_sweep(&strategies, |_, &(label, strategy)| {
         let spec = DeploymentSpec {
             config: OnServeConfig {
                 write_strategy: strategy,
@@ -74,21 +75,24 @@ fn main() {
             });
         }
         r.sim.run();
-        t.row(vec![
+        vec![
             label.to_string(),
             format!("{:.1} s", (r.sim.now() - t0).as_secs_f64()),
             format!(
                 "{:.0} MB",
                 r.sim.recorder_ref().total("appliance.disk.write.bytes") / MB
             ),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     println!("{}", t.render());
 
     // ---- 2. staging reuse ------------------------------------------------
     println!("==== ablation 2: re-stage vs reuse (5 invocations of a 2 MB tool) ====\n");
     let mut t = TextTable::new(vec!["staging", "makespan", "bytes to grid"]);
-    for (label, reuse) in [("re-upload every run (paper)", false), ("reuse staged file", true)] {
+    let staging_modes = [("re-upload every run (paper)", false), ("reuse staged file", true)];
+    for row in par_sweep(&staging_modes, |_, &(label, reuse)| {
         let spec = DeploymentSpec {
             config: OnServeConfig {
                 reuse_staged_files: reuse,
@@ -112,18 +116,21 @@ fn main() {
             makespan += invoke_n(&mut r, "tool", 1);
         }
         let grid_in = r.sim.recorder_ref().total("ncsa.net.in.bytes") - grid_in_before;
-        t.row(vec![
+        vec![
             label.to_string(),
             format!("{makespan:.0} s"),
             format!("{:.1} MB", grid_in / MB),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     println!("{}", t.render());
 
     // ---- 3. session caching ----------------------------------------------
     println!("==== ablation 3: credential exchange per invocation vs cached sessions ====\n");
     let mut t = TextTable::new(vec!["sessions", "10-run makespan", "MyProxy traffic"]);
-    for (label, cache) in [("authenticate every run (paper)", false), ("cached session", true)] {
+    let session_modes = [("authenticate every run (paper)", false), ("cached session", true)];
+    for row in par_sweep(&session_modes, |_, &(label, cache)| {
         let spec = DeploymentSpec {
             config: OnServeConfig {
                 cache_grid_sessions: cache,
@@ -148,11 +155,13 @@ fn main() {
         }
         let mp = r.sim.recorder_ref().total("mp.fwd.bytes")
             + r.sim.recorder_ref().total("mp.rev.bytes");
-        t.row(vec![
+        vec![
             label.to_string(),
             format!("{makespan:.0} s"),
             format!("{:.0} KB", mp / KB),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     println!("{}", t.render());
 
@@ -164,7 +173,8 @@ fn main() {
         "polls",
         "bytes re-fetched",
     ]);
-    for secs in [3u64, 9, 30, 90] {
+    let intervals = [3u64, 9, 30, 90];
+    for row in par_sweep(&intervals, |_, &secs| {
         let spec = DeploymentSpec {
             config: OnServeConfig {
                 poll_interval: Duration::from_secs(secs),
@@ -200,12 +210,14 @@ fn main() {
             .map(|s| rec.total(&format!("wan.{}.down.bytes", s.name())))
             .sum::<f64>()
             - wan_before;
-        t.row(vec![
+        vec![
             format!("{secs} s"),
             format!("{latency:.0} s"),
             format!("{}", r.d.agent.polls_issued() - polls_before),
             format!("{:.0} KB", refetched / KB),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     println!("{}", t.render());
     println!(
@@ -217,7 +229,8 @@ fn main() {
     // ---- 5. batch policy under background load ----------------------------
     println!("==== ablation 5: FCFS vs EASY backfill under heavy background load ====\n");
     let mut t = TextTable::new(vec!["policy", "mean queue+run latency (8 x 1-core jobs)"]);
-    for policy in [SchedPolicy::Fcfs, SchedPolicy::Backfill] {
+    let policies = [SchedPolicy::Fcfs, SchedPolicy::Backfill];
+    for row in par_sweep(&policies, |_, &policy| {
         let mut sim = Sim::new(704);
         // a standalone site carrying the policy under test, kept busy by a
         // background stream, probed with onServe-shaped (small, short) jobs
@@ -257,7 +270,9 @@ fn main() {
             }
         }
         let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
-        t.row(vec![format!("{policy:?}"), format!("{mean:.0} s")]);
+        vec![format!("{policy:?}"), format!("{mean:.0} s")]
+    }) {
+        t.row(row);
     }
     println!("{}", t.render());
     println!(

@@ -21,7 +21,7 @@ use std::rc::Rc;
 use blobstore::WriteStrategy;
 use onserve::deployment::DeploymentSpec;
 use onserve::profile::ExecutionProfile;
-use onserve_bench::Runner;
+use onserve_bench::{par_sweep, Runner};
 use simkit::report::TextTable;
 use simkit::MB;
 
@@ -70,8 +70,13 @@ fn store_batch(strategy: WriteStrategy, n: u32, seed: u64) -> StoreRun {
 fn main() {
     let n = 20;
     println!("==== D-3 disk I/O: storing {n} x 5 MB uploads ====\n");
-    let dw = store_batch(WriteStrategy::DoubleWrite, n, 400);
-    let direct = store_batch(WriteStrategy::Direct, n, 401);
+    let configs = [
+        (WriteStrategy::DoubleWrite, 400u64),
+        (WriteStrategy::Direct, 401u64),
+    ];
+    let mut runs = par_sweep(&configs, |_, &(strategy, seed)| store_batch(strategy, n, seed));
+    let direct = runs.pop().expect("direct run");
+    let dw = runs.pop().expect("double-write run");
     let mut t = TextTable::new(vec![
         "strategy",
         "makespan",

@@ -17,8 +17,7 @@ use std::rc::Rc;
 
 use onserve::deployment::DeploymentSpec;
 use onserve::profile::ExecutionProfile;
-use onserve_bench::{Runner, KB};
-use parking_lot::Mutex;
+use onserve_bench::{par_sweep, Runner, KB};
 use simkit::report::TextTable;
 use simkit::{Duration, GBIT_PER_S, MB};
 
@@ -82,7 +81,6 @@ fn service_use_scenario(wan_bw: f64, concurrent: u32, seed: u64) -> f64 {
 
 struct Row {
     label: String,
-    bw: f64,
     single: f64,
     stressed: f64,
 }
@@ -101,36 +99,18 @@ fn main() {
         ("10 MB/s", 10.0 * MB),
     ];
 
-    let lan_rows: Mutex<Vec<Row>> = Mutex::new(Vec::new());
-    let wan_rows: Mutex<Vec<Row>> = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
-        for (i, &(label, bw)) in lan_points.iter().enumerate() {
-            let lan_rows = &lan_rows;
-            scope.spawn(move |_| {
-                lan_rows.lock().push(Row {
-                    label: label.to_owned(),
-                    bw,
-                    single: upload_scenario(bw, 1, 300 + i as u64),
-                    stressed: upload_scenario(bw, 8, 310 + i as u64),
-                });
-            });
-        }
-        for (i, &(label, bw)) in wan_points.iter().enumerate() {
-            let wan_rows = &wan_rows;
-            scope.spawn(move |_| {
-                wan_rows.lock().push(Row {
-                    label: label.to_owned(),
-                    bw,
-                    single: service_use_scenario(bw, 1, 320 + i as u64),
-                    stressed: service_use_scenario(bw, 8, 330 + i as u64),
-                });
-            });
-        }
-    })
-    .expect("sweep threads");
+    let lan_rows = par_sweep(&lan_points, |i, &(label, bw)| Row {
+        label: label.to_owned(),
+        single: upload_scenario(bw, 1, 300 + i as u64),
+        stressed: upload_scenario(bw, 8, 310 + i as u64),
+    });
+    let wan_rows = par_sweep(&wan_points, |i, &(label, bw)| Row {
+        label: label.to_owned(),
+        single: service_use_scenario(bw, 1, 320 + i as u64),
+        stressed: service_use_scenario(bw, 8, 330 + i as u64),
+    });
 
-    let render = |title: &str, mut rows: Vec<Row>| {
-        rows.sort_by(|a, b| a.bw.partial_cmp(&b.bw).unwrap());
+    let render = |title: &str, rows: Vec<Row>| {
         println!("==== D-2 network sweep: {title} ====\n");
         let mut t = TextTable::new(vec!["link", "1 request", "8 concurrent", "slowdown @8"]);
         for r in &rows {
@@ -145,11 +125,11 @@ fn main() {
     };
     render(
         "upload + generate Web service (5 MB, client LAN)",
-        lan_rows.into_inner(),
+        lan_rows,
     );
     render(
         "service use (2 MB staging + 30 s job, WAN to the site)",
-        wan_rows.into_inner(),
+        wan_rows,
     );
     println!(
         "paper claim: slow links dominate request treatment for BOTH basic\n\

@@ -19,8 +19,7 @@ use std::rc::Rc;
 use cyberaide::OutputPoller;
 use onserve::deployment::{Deployment, DeploymentSpec};
 use onserve::profile::ExecutionProfile;
-use onserve_bench::{Runner, KB};
-use parking_lot::Mutex;
+use onserve_bench::{par_sweep, Runner, KB};
 use simkit::report::TextTable;
 use simkit::{Duration, Sim};
 use wsstack::SoapValue;
@@ -109,21 +108,12 @@ fn saas_latency(runtime: Duration, exe_bytes: usize, out_bytes: f64, seed: u64) 
 fn main() {
     println!("==== overhead sweep: SaaS vs raw JSE ====\n");
     let runtimes: Vec<u64> = vec![1, 10, 60, 300, 1800, 3600];
-    let rows: Mutex<Vec<(u64, f64, f64)>> = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
-        for (i, &rt) in runtimes.iter().enumerate() {
-            let rows = &rows;
-            scope.spawn(move |_| {
-                let runtime = Duration::from_secs(rt);
-                let raw = raw_jse_latency(runtime, 128.0 * KB, 32.0 * KB, 500 + i as u64);
-                let saas = saas_latency(runtime, 128 * 1024, 32.0 * KB, 510 + i as u64);
-                rows.lock().push((rt, raw, saas));
-            });
-        }
-    })
-    .expect("sweep");
-    let mut rows = rows.into_inner();
-    rows.sort_by_key(|&(rt, _, _)| rt);
+    let rows = par_sweep(&runtimes, |i, &rt| {
+        let runtime = Duration::from_secs(rt);
+        let raw = raw_jse_latency(runtime, 128.0 * KB, 32.0 * KB, 500 + i as u64);
+        let saas = saas_latency(runtime, 128 * 1024, 32.0 * KB, 510 + i as u64);
+        (rt, raw, saas)
+    });
     let mut t = TextTable::new(vec![
         "job runtime",
         "raw JSE",

@@ -1,0 +1,173 @@
+//! Tracked kernel performance baseline.
+//!
+//! Measures the simkit hot paths (event queue, processor-sharing server,
+//! metric recorder) plus the end-to-end Figure-6 pipeline, and writes the
+//! results as machine-readable JSON to `BENCH_kernel.json` at the repo
+//! root. CI and future optimisation PRs diff this file to catch
+//! regressions.
+//!
+//! Run with: `cargo run --release -p onserve-bench --bin perfbaseline`
+//!
+//! The criterion benches in `benches/kernel.rs` cover the same scenarios
+//! interactively; this binary exists because bins cannot link
+//! dev-dependencies, and because a flat JSON file is easier to track than
+//! criterion's output directory.
+
+use std::time::{Duration as WallDuration, Instant};
+
+use onserve::deployment::DeploymentSpec;
+use onserve::profile::ExecutionProfile;
+use onserve_bench::{Runner, KB};
+use simkit::{Duration, PsServer, Recorder, ServerConfig, Sim};
+
+/// One measured scenario.
+struct Entry {
+    name: &'static str,
+    /// Mean nanoseconds per operation.
+    mean_ns: f64,
+    /// Fastest sample, ns per operation.
+    min_ns: f64,
+    /// Operations per second implied by the mean.
+    ops_per_sec: f64,
+}
+
+/// Calibrate a batch to ~2 ms, then time `samples` batches of `routine`,
+/// whose return value is the number of operations it performed.
+fn measure(name: &'static str, samples: usize, mut routine: impl FnMut() -> u64) -> Entry {
+    let target = WallDuration::from_millis(2);
+    let mut batch: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        let mut ops = 0;
+        for _ in 0..batch {
+            ops += std::hint::black_box(routine());
+        }
+        let el = t0.elapsed();
+        std::hint::black_box(ops);
+        if el >= target || batch >= 1 << 24 {
+            if el > WallDuration::ZERO && el < target {
+                let scale = target.as_secs_f64() / el.as_secs_f64();
+                batch = ((batch as f64 * scale).ceil() as u64).max(batch);
+            }
+            break;
+        }
+        batch *= 2;
+    }
+    let mut total_ns = 0.0;
+    let mut min_ns = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let mut ops: u64 = 0;
+        for _ in 0..batch {
+            ops += std::hint::black_box(routine());
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / ops as f64;
+        total_ns += ns;
+        min_ns = min_ns.min(ns);
+    }
+    let mean_ns = total_ns / samples as f64;
+    Entry {
+        name,
+        mean_ns,
+        min_ns,
+        ops_per_sec: 1e9 / mean_ns,
+    }
+}
+
+/// Schedule-and-drain through the event queue; one op = one event.
+fn bench_event_queue() -> Entry {
+    const EVENTS: u64 = 1024;
+    measure("engine.queue_push_pop", 20, || {
+        let mut sim = Sim::new(1);
+        for i in 0..EVENTS {
+            sim.schedule(Duration::from_micros(i), |_| {});
+        }
+        sim.run();
+        EVENTS
+    })
+}
+
+/// Metric-recording PS server under churn: submit `n` staggered flows,
+/// run to completion. One op = one completed flow (each completion
+/// triggers an advance + rate recompute + reschedule).
+fn bench_ps_flows(name: &'static str, n: u64) -> Entry {
+    measure(name, 20, move || {
+        let mut sim = Sim::new(2);
+        let srv = PsServer::new(ServerConfig::named("srv", 100.0));
+        for i in 0..n {
+            PsServer::submit(&srv, &mut sim, 1.0 + i as f64, |_| {});
+        }
+        sim.run();
+        n
+    })
+}
+
+/// Span accumulation into the bucketed recorder; one op = one add_span.
+fn bench_recorder() -> Entry {
+    const SPANS: u64 = 256;
+    measure("metrics.add_span", 20, || {
+        let mut rec = Recorder::new(Duration::from_secs(3));
+        for i in 0..SPANS {
+            let t0 = simkit::SimTime::from_secs_f64(i as f64 * 0.7);
+            let t1 = simkit::SimTime::from_secs_f64(i as f64 * 0.7 + 0.9);
+            rec.add_span("host.cpu.busy", t0, t1, 0.9);
+        }
+        SPANS
+    })
+}
+
+/// The full Figure-6 invocation pipeline; one op = one invocation.
+fn bench_fig6_pipeline() -> Entry {
+    measure("pipeline.fig6", 10, || {
+        let mut r = Runner::new(6, &DeploymentSpec::default());
+        r.publish(
+            "small.exe",
+            64,
+            ExecutionProfile::quick()
+                .lasting(Duration::from_secs(60))
+                .producing(48.0 * KB),
+            &[],
+        );
+        let (res, _) = r.invoke_blocking("small", &[]);
+        res.expect("invocation");
+        1
+    })
+}
+
+fn main() {
+    let entries = vec![
+        bench_event_queue(),
+        bench_ps_flows("server.ps_flows_2", 2),
+        bench_ps_flows("server.ps_flows_16", 16),
+        bench_ps_flows("server.ps_flows_64", 64),
+        bench_recorder(),
+        bench_fig6_pipeline(),
+    ];
+
+    for e in &entries {
+        println!(
+            "{:<24} {:>12.1} ns/op  (min {:>10.1})  {:>14.0} ops/s",
+            e.name, e.mean_ns, e.min_ns, e.ops_per_sec
+        );
+    }
+
+    let mut json = String::from("{\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  \"{}\": {{ \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"ops_per_sec\": {:.0} }}{}\n",
+            e.name, e.mean_ns, e.min_ns, e.ops_per_sec, comma
+        ));
+    }
+    json.push_str("}\n");
+
+    // repo root = two levels above this crate's manifest
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+        .to_path_buf();
+    let path = root.join("BENCH_kernel.json");
+    std::fs::write(&path, json).expect("write BENCH_kernel.json");
+    eprintln!("(baseline written to {})", path.display());
+}

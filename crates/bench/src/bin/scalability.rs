@@ -17,8 +17,7 @@ use std::rc::Rc;
 
 use onserve::deployment::DeploymentSpec;
 use onserve::profile::ExecutionProfile;
-use onserve_bench::{Runner, KB};
-use parking_lot::Mutex;
+use onserve_bench::{par_sweep, Runner, KB};
 use simkit::report::TextTable;
 use simkit::{Duration, MB};
 
@@ -110,23 +109,8 @@ fn main() {
     let counts: Vec<u32> = vec![1, 2, 4, 8, 16, 32, 64];
 
     // run sweep points on parallel host threads — each owns its world
-    let uploads: Mutex<Vec<UploadPoint>> = Mutex::new(Vec::new());
-    let invokes: Mutex<Vec<InvokePoint>> = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
-        for &n in &counts {
-            let uploads = &uploads;
-            let invokes = &invokes;
-            scope.spawn(move |_| {
-                uploads.lock().push(upload_point(n));
-                invokes.lock().push(invoke_point(n));
-            });
-        }
-    })
-    .expect("sweep threads");
-    let mut up = uploads.into_inner();
-    up.sort_by_key(|p| p.n);
-    let mut inv = invokes.into_inner();
-    inv.sort_by_key(|p| p.n);
+    let points = par_sweep(&counts, |_, &n| (upload_point(n), invoke_point(n)));
+    let (up, inv): (Vec<UploadPoint>, Vec<InvokePoint>) = points.into_iter().unzip();
 
     println!("==== D-1 scalability: simultaneous portal uploads (10 MB each, 1 Gbit/s LAN) ====\n");
     let mut t = TextTable::new(vec![

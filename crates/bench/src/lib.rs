@@ -169,6 +169,32 @@ pub fn render_figure(title: &str, note: &str, curves: &[Curve]) -> String {
 /// The paper's KB (1024 bytes).
 pub const KB: f64 = 1024.0;
 
+/// Run `f(index, &item)` for every sweep point on its own host thread and
+/// return the results in input order.
+///
+/// Every sweep binary shares this shape: each point owns an independent
+/// simulation (seeded from `index`), so the only cross-thread state is the
+/// per-point output slot each thread writes — no locking, no post-sort.
+pub fn par_sweep<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (i, (slot, item)) in out.iter_mut().zip(items).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| *slot = Some(f(i, item)));
+        }
+    })
+    .expect("sweep threads");
+    out.into_iter()
+        .map(|r| r.expect("sweep point completed"))
+        .collect()
+}
+
 /// Write a figure's curves to `target/experiments/<name>.csv` so the data
 /// behind every regenerated figure can be re-plotted with external tools.
 /// Returns the path written.
@@ -239,6 +265,27 @@ mod tests {
         assert!(text.starts_with("t_seconds,net (KB/s)"));
         assert!(text.contains("3,2.5"));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn par_sweep_preserves_input_order() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_sweep(&items, |i, &x| {
+            // stagger completion so slow points cannot reorder results
+            std::thread::sleep(std::time::Duration::from_micros((32 - x) * 50));
+            (i, x * 2)
+        });
+        assert_eq!(out.len(), 32);
+        for (i, &(idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(doubled, items[i] * 2);
+        }
+    }
+
+    #[test]
+    fn par_sweep_empty_input() {
+        let out: Vec<u32> = par_sweep(&[] as &[u8], |_, _| unreachable!());
+        assert!(out.is_empty());
     }
 
     #[test]

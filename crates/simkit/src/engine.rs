@@ -17,6 +17,27 @@ use crate::time::{Duration, SimTime};
 /// A pending event: a one-shot closure over the simulator.
 pub type Event = Box<dyn FnOnce(&mut Sim)>;
 
+/// Hasher for the pending-id set. Seqs are unique counters, so a single
+/// multiplicative mix replaces SipHash on the per-event hot path.
+#[derive(Default, Clone)]
+struct SeqHasher(u64);
+
+impl std::hash::Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type SeqSet = HashSet<u64, std::hash::BuildHasherDefault<SeqHasher>>;
+
 /// Handle to a scheduled event, usable with [`Sim::cancel_event`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
@@ -55,7 +76,11 @@ pub struct Sim {
     seq: u64,
     executed: u64,
     queue: BinaryHeap<Scheduled>,
-    cancelled: HashSet<u64>,
+    /// Seqs of queued events that have neither fired nor been cancelled.
+    /// Membership is the single source of truth for liveness: ids leave the
+    /// set on cancel *or* on pop, so a cancel after firing is a clean `false`
+    /// and nothing accumulates across a run.
+    pending_ids: SeqSet,
     recorder: Recorder,
     rng: Rng,
     trace: Option<Vec<(SimTime, String)>>,
@@ -70,7 +95,7 @@ impl Sim {
             seq: 0,
             executed: 0,
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            pending_ids: SeqSet::default(),
             recorder: Recorder::new(Duration::from_secs(3)),
             rng: Rng::new(seed),
             trace: None,
@@ -131,6 +156,7 @@ impl Sim {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
+        self.pending_ids.insert(seq);
         self.queue.push(Scheduled {
             at,
             seq,
@@ -142,17 +168,14 @@ impl Sim {
     /// Drop a pending event before it fires. Returns `false` if it already
     /// ran, was already cancelled, or never existed.
     pub fn cancel_event(&mut self, id: EventId) -> bool {
-        if id.0 >= self.seq {
-            return false;
-        }
-        self.cancelled.insert(id.0)
+        self.pending_ids.remove(&id.0)
     }
 
     /// Execute the next pending event, advancing the clock to it. Returns
     /// `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         while let Some(ev) = self.queue.pop() {
-            if self.cancelled.remove(&ev.seq) {
+            if !self.pending_ids.remove(&ev.seq) {
                 continue; // cancelled: drop silently, don't advance time
             }
             debug_assert!(ev.at >= self.now, "event queue went backwards");
@@ -183,7 +206,7 @@ impl Sim {
             // pop exactly one due entry (step()'s skip-loop could otherwise
             // run past the deadline when the head is cancelled)
             let ev = self.queue.pop().expect("peeked entry present");
-            if self.cancelled.remove(&ev.seq) {
+            if !self.pending_ids.remove(&ev.seq) {
                 continue;
             }
             debug_assert!(ev.at >= self.now, "event queue went backwards");
@@ -214,6 +237,11 @@ impl Sim {
     /// The trace collected so far (empty when tracing is off).
     pub fn trace_lines(&self) -> &[(SimTime, String)] {
         self.trace.as_deref().unwrap_or(&[])
+    }
+
+    #[cfg(test)]
+    fn live_ids(&self) -> usize {
+        self.pending_ids.len()
     }
 }
 
@@ -359,6 +387,30 @@ mod tests {
         sim.cancel_event(ids[2]);
         sim.run();
         assert_eq!(*log.borrow(), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_false_and_leaks_nothing() {
+        let mut sim = Sim::new(0);
+        let id = sim.schedule(Duration::from_secs(1), |_| {});
+        sim.run();
+        // regression: this used to return true and permanently tombstone the
+        // id, so a fired event "cancelled" successfully and the set grew
+        // without bound
+        assert!(!sim.cancel_event(id), "event already ran");
+        assert!(!sim.cancel_event(id), "still false on repeat");
+        assert_eq!(sim.live_ids(), 0, "no tracking state left behind");
+    }
+
+    #[test]
+    fn cancel_never_scheduled_id_leaks_nothing() {
+        let mut sim = Sim::new(0);
+        let real = sim.schedule(Duration::from_secs(1), |_| {});
+        assert!(sim.cancel_event(real));
+        assert!(!sim.cancel_event(real));
+        assert_eq!(sim.live_ids(), 0);
+        sim.run();
+        assert_eq!(sim.events_executed(), 0);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod time;
 
 pub use engine::Sim;
 pub use host::{Duplex, Host, HostSpec, Link, GBIT_PER_S, KB, MB};
-pub use metrics::{Recorder, Series};
+pub use metrics::{MetricId, Recorder, Series};
 pub use rng::Rng;
 pub use server::{FifoServer, FlowId, PsServer, ServerConfig, Share};
 pub use time::{Duration, SimTime};

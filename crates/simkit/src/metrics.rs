@@ -139,14 +139,25 @@ impl Series {
     }
 }
 
+/// Interned handle to one series, returned by [`Recorder::intern`].
+///
+/// Hot paths (the fluid servers' `advance`) resolve their dotted key
+/// strings once and record through the id afterwards, turning every
+/// sample into a vector index instead of a string-keyed map lookup.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MetricId(u32);
+
 /// Accumulates all metric series for a simulation run.
 ///
 /// Keys are dotted paths, e.g. `"appliance.net.out"` or `"grid-node.cpu"`.
-/// `BTreeMap` keeps report output deterministically ordered.
+/// Each key is interned to a dense [`MetricId`] indexing a `Vec<Series>`;
+/// the `BTreeMap` name index keeps report output deterministically
+/// ordered.
 #[derive(Clone, Debug)]
 pub struct Recorder {
     interval: Duration,
-    series: BTreeMap<String, Series>,
+    names: BTreeMap<String, MetricId>,
+    series: Vec<Series>,
 }
 
 impl Recorder {
@@ -155,7 +166,8 @@ impl Recorder {
         assert!(!interval.is_zero(), "sampling interval must be nonzero");
         Recorder {
             interval,
-            series: BTreeMap::new(),
+            names: BTreeMap::new(),
+            series: Vec::new(),
         }
     }
 
@@ -164,37 +176,58 @@ impl Recorder {
         self.interval
     }
 
-    fn entry(&mut self, key: &str) -> &mut Series {
-        let interval = self.interval;
-        self.series
-            .entry(key.to_owned())
-            .or_insert_with(|| Series::new(interval))
+    /// Resolve `key` to its id, creating an empty series on first use.
+    pub fn intern(&mut self, key: &str) -> MetricId {
+        if let Some(&id) = self.names.get(key) {
+            return id;
+        }
+        let id = MetricId(u32::try_from(self.series.len()).expect("metric id space exhausted"));
+        self.names.insert(key.to_owned(), id);
+        self.series.push(Series::new(self.interval));
+        id
     }
 
     /// Accumulate `amount` into the bucket containing instant `t`.
     pub fn add_point(&mut self, key: &str, t: SimTime, amount: f64) {
-        self.entry(key).add_point(t, amount);
+        let id = self.intern(key);
+        self.add_point_id(id, t, amount);
     }
 
     /// Distribute `amount` over `[t0, t1)` proportionally to bucket overlap.
     /// A degenerate span collapses to a point at `t0`.
     pub fn add_span(&mut self, key: &str, t0: SimTime, t1: SimTime, amount: f64) {
-        self.entry(key).add_span(t0, t1, amount);
+        let id = self.intern(key);
+        self.add_span_id(id, t0, t1, amount);
     }
 
-    /// Look up a series.
+    /// [`add_point`](Self::add_point) through an interned id.
+    pub fn add_point_id(&mut self, id: MetricId, t: SimTime, amount: f64) {
+        self.series[id.0 as usize].add_point(t, amount);
+    }
+
+    /// [`add_span`](Self::add_span) through an interned id.
+    pub fn add_span_id(&mut self, id: MetricId, t0: SimTime, t1: SimTime, amount: f64) {
+        self.series[id.0 as usize].add_span(t0, t1, amount);
+    }
+
+    /// Look up a series by key.
     pub fn series(&self, key: &str) -> Option<&Series> {
-        self.series.get(key)
+        self.names.get(key).map(|&id| &self.series[id.0 as usize])
+    }
+
+    /// Look up a series by interned id.
+    pub fn series_by_id(&self, id: MetricId) -> &Series {
+        &self.series[id.0 as usize]
     }
 
     /// Series total, or 0.0 when absent.
     pub fn total(&self, key: &str) -> f64 {
-        self.series.get(key).map_or(0.0, Series::total)
+        self.series(key).map_or(0.0, Series::total)
     }
 
     /// All keys, sorted.
     pub fn keys(&self) -> impl Iterator<Item = &str> {
-        self.series.keys().map(String::as_str)
+        self.names.keys().map(String::as_str)
     }
 
     /// Keys sharing a prefix (e.g. every metric of one host).
@@ -308,5 +341,32 @@ mod tests {
     #[should_panic(expected = "sampling interval")]
     fn zero_interval_rejected() {
         let _ = Recorder::new(Duration::ZERO);
+    }
+
+    #[test]
+    fn intern_is_stable_and_id_path_aliases_key_path() {
+        let mut r = rec();
+        let a = r.intern("x");
+        let b = r.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(r.intern("x"), a);
+        r.add_point_id(a, SimTime::from_secs(7), 5.0);
+        r.add_span_id(a, SimTime::from_secs(2), SimTime::from_secs(8), 6.0);
+        r.add_point("x", SimTime::from_secs(7), 1.0);
+        let via_key = r.series("x").unwrap().total();
+        let via_id = r.series_by_id(a).total();
+        assert_eq!(via_key, via_id);
+        assert!((via_key - 12.0).abs() < 1e-9);
+        assert_eq!(r.series_by_id(b).total(), 0.0);
+    }
+
+    #[test]
+    fn keys_stay_sorted_regardless_of_intern_order() {
+        let mut r = rec();
+        r.intern("z.last");
+        r.intern("a.first");
+        r.intern("m.middle");
+        let keys: Vec<_> = r.keys().collect();
+        assert_eq!(keys, vec!["a.first", "m.middle", "z.last"]);
     }
 }

@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use crate::engine::Sim;
+use crate::metrics::{MetricId, Recorder};
 use crate::time::{Duration, SimTime, TICKS_PER_SEC};
 
 /// Identifier of a flow/job inside one server.
@@ -103,6 +104,25 @@ impl ServerConfig {
 
 type DoneFn = Box<dyn FnOnce(&mut Sim)>;
 
+/// Interned copies of a config's metric key lists, resolved against the
+/// recorder the first time the server records (servers are built before
+/// the `Sim` they run in, so this cannot happen at construction).
+struct MetricIdCache {
+    busy: Vec<MetricId>,
+    throughput: Vec<MetricId>,
+}
+
+fn intern_cfg(cfg: &ServerConfig, rec: &mut Recorder) -> MetricIdCache {
+    MetricIdCache {
+        busy: cfg.busy_metrics.iter().map(|k| rec.intern(k)).collect(),
+        throughput: cfg.throughput_metrics.iter().map(|k| rec.intern(k)).collect(),
+    }
+}
+
+fn share_is_default(s: &Share) -> bool {
+    s.weight == 1.0 && s.rate_cap == f64::INFINITY
+}
+
 struct PsFlow {
     remaining: f64,
     initial: f64,
@@ -118,6 +138,13 @@ pub struct PsServer {
     next_id: u64,
     last_update: SimTime,
     epoch: u64,
+    metric_ids: Option<MetricIdCache>,
+    /// Active flows whose share differs from `Share::default()`. While this
+    /// is zero `recompute_rates` takes the closed-form equal-split path.
+    nondefault_shares: usize,
+    scratch_fixed: Vec<bool>,
+    scratch_rates: Vec<f64>,
+    scratch_shares: Vec<Share>,
 }
 
 fn finish_eps(initial: f64) -> f64 {
@@ -143,6 +170,11 @@ impl PsServer {
             next_id: 0,
             last_update: SimTime::ZERO,
             epoch: 0,
+            metric_ids: None,
+            nondefault_shares: 0,
+            scratch_fixed: Vec::new(),
+            scratch_rates: Vec::new(),
+            scratch_shares: Vec::new(),
         }))
     }
 
@@ -183,6 +215,9 @@ impl PsServer {
             s.advance(sim);
             id = FlowId(s.next_id);
             s.next_id += 1;
+            if !share_is_default(&share) {
+                s.nondefault_shares += 1;
+            }
             s.flows.insert(
                 id,
                 PsFlow {
@@ -208,7 +243,15 @@ impl PsServer {
         {
             let mut s = this.borrow_mut();
             s.advance(sim);
-            removed = s.flows.remove(&id).is_some();
+            removed = match s.flows.remove(&id) {
+                Some(f) => {
+                    if !share_is_default(&f.share) {
+                        s.nondefault_shares -= 1;
+                    }
+                    true
+                }
+                None => false,
+            };
             s.recompute_rates();
         }
         if removed {
@@ -250,11 +293,14 @@ impl PsServer {
         if served_total > 0.0 {
             let t0 = self.last_update;
             let busy = (served_total / self.cfg.capacity).min(dt);
-            for key in &self.cfg.busy_metrics {
-                sim.recorder().add_span(key, t0, now, busy);
+            let ids = self
+                .metric_ids
+                .get_or_insert_with(|| intern_cfg(&self.cfg, sim.recorder()));
+            for &id in &ids.busy {
+                sim.recorder().add_span_id(id, t0, now, busy);
             }
-            for key in &self.cfg.throughput_metrics {
-                sim.recorder().add_span(key, t0, now, served_total);
+            for &id in &ids.throughput {
+                sim.recorder().add_span_id(id, t0, now, served_total);
             }
         }
         self.last_update = now;
@@ -262,19 +308,38 @@ impl PsServer {
 
     /// Water-filling: flows whose cap is below their weighted fair share are
     /// pinned at the cap; the freed capacity is redistributed among the rest.
+    ///
+    /// With only default shares active the filled point has a closed form —
+    /// `capacity / n`, exactly the value one loop round computes when every
+    /// weight is 1.0 and no cap binds (the weight sum over n ones is exactly
+    /// `n as f64`) — so the common case assigns rates directly, touching no
+    /// scratch storage. The general case reuses buffers kept on the server.
     fn recompute_rates(&mut self) {
         let n = self.flows.len();
         if n == 0 {
             return;
         }
-        let mut fixed: Vec<bool> = vec![false; n];
-        let mut rates: Vec<f64> = vec![0.0; n];
-        let shares: Vec<Share> = self.flows.values().map(|f| f.share).collect();
+        if self.nondefault_shares == 0 {
+            let rate = self.cfg.capacity / n as f64;
+            for f in self.flows.values_mut() {
+                f.rate = rate;
+            }
+            return;
+        }
+        let fixed = &mut self.scratch_fixed;
+        let rates = &mut self.scratch_rates;
+        let shares = &mut self.scratch_shares;
+        fixed.clear();
+        fixed.resize(n, false);
+        rates.clear();
+        rates.resize(n, 0.0);
+        shares.clear();
+        shares.extend(self.flows.values().map(|f| f.share));
         let mut cap_left = self.cfg.capacity;
         loop {
             let free_weight: f64 = shares
                 .iter()
-                .zip(&fixed)
+                .zip(fixed.iter())
                 .filter(|(_, fx)| !**fx)
                 .map(|(s, _)| s.weight)
                 .sum();
@@ -304,7 +369,7 @@ impl PsServer {
                 break;
             }
         }
-        for (f, r) in self.flows.values_mut().zip(rates) {
+        for (f, &r) in self.flows.values_mut().zip(rates.iter()) {
             f.rate = r;
         }
     }
@@ -349,18 +414,23 @@ impl PsServer {
                 return; // superseded by a later submit/cancel
             }
             s.advance(sim);
-            let done_ids: Vec<FlowId> = s
-                .flows
-                .iter()
-                .filter(|(_, f)| f.remaining <= finish_eps(f.initial))
-                .map(|(id, _)| *id)
-                .collect();
-            for id in done_ids {
-                let mut f = s.flows.remove(&id).expect("flow present");
-                if let Some(cb) = f.done.take() {
-                    completed.push(cb);
+            // drain every flow that finished this tick in one pass (ascending
+            // FlowId order, matching callback FIFO expectations)
+            let mut removed_nondefault = 0usize;
+            s.flows.retain(|_, f| {
+                if f.remaining <= finish_eps(f.initial) {
+                    if !share_is_default(&f.share) {
+                        removed_nondefault += 1;
+                    }
+                    if let Some(cb) = f.done.take() {
+                        completed.push(cb);
+                    }
+                    false
+                } else {
+                    true
                 }
-            }
+            });
+            s.nondefault_shares -= removed_nondefault;
             s.recompute_rates();
         }
         Self::reschedule(this, sim);
@@ -386,6 +456,7 @@ pub struct FifoServer {
     active_initial: f64,
     last_update: SimTime,
     epoch: u64,
+    metric_ids: Option<MetricIdCache>,
 }
 
 impl FifoServer {
@@ -400,6 +471,7 @@ impl FifoServer {
             active_initial: 0.0,
             last_update: SimTime::ZERO,
             epoch: 0,
+            metric_ids: None,
         }))
     }
 
@@ -411,6 +483,18 @@ impl FifoServer {
     /// Jobs in system (queued + in service).
     pub fn backlog(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Change capacity at runtime (e.g. a throttled disk); the in-service
+    /// job keeps its remaining work and continues at the new rate.
+    pub fn set_capacity(this: &Rc<RefCell<Self>>, sim: &mut Sim, capacity: f64) {
+        assert!(capacity > 0.0, "server capacity must be positive");
+        {
+            let mut s = this.borrow_mut();
+            s.advance(sim);
+            s.cfg.capacity = capacity;
+        }
+        Self::reschedule(this, sim);
     }
 
     /// Submit `work` units; `done` fires when the job finishes service.
@@ -489,11 +573,14 @@ impl FifoServer {
                 // Attribute the busy span to the beginning of the interval:
                 // the server worked first, then idled.
                 let t_busy_end = t0 + Duration::from_secs_f64(busy_dt);
-                for key in &self.cfg.busy_metrics {
-                    sim.recorder().add_span(key, t0, t_busy_end, busy_dt);
+                let ids = self
+                    .metric_ids
+                    .get_or_insert_with(|| intern_cfg(&self.cfg, sim.recorder()));
+                for &id in &ids.busy {
+                    sim.recorder().add_span_id(id, t0, t_busy_end, busy_dt);
                 }
-                for key in &self.cfg.throughput_metrics {
-                    sim.recorder().add_span(key, t0, t_busy_end, served);
+                for &id in &ids.throughput {
+                    sim.recorder().add_span_id(id, t0, t_busy_end, served);
                 }
             }
         }
@@ -764,5 +851,51 @@ mod tests {
         }
         sim.run();
         assert_eq!(done.get(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn ps_server_rejects_zero_capacity() {
+        let _ = PsServer::new(ServerConfig::silent(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn fifo_server_rejects_negative_capacity() {
+        let _ = FifoServer::new(ServerConfig::silent(-5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn ps_set_capacity_rejects_zero() {
+        let mut sim = Sim::new(0);
+        let link = PsServer::new(ServerConfig::silent(100.0));
+        PsServer::set_capacity(&link, &mut sim, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn fifo_set_capacity_rejects_negative() {
+        let mut sim = Sim::new(0);
+        let disk = FifoServer::new(ServerConfig::silent(100.0));
+        FifoServer::set_capacity(&disk, &mut sim, -1.0);
+    }
+
+    #[test]
+    fn fifo_set_capacity_rescales_current_job() {
+        let mut sim = Sim::new(0);
+        let disk = FifoServer::new(ServerConfig::silent(100.0));
+        let at = flag();
+        let at2 = at.clone();
+        FifoServer::submit(&disk, &mut sim, 1000.0, move |sim| {
+            at2.set(sim.now().as_secs_f64())
+        });
+        let d2 = disk.clone();
+        sim.schedule(Duration::from_secs(5), move |sim| {
+            FifoServer::set_capacity(&d2, sim, 50.0);
+        });
+        sim.run();
+        // 500 units in the first 5 s, remaining 500 at 50/s → t=15
+        assert!((at.get() - 15.0).abs() < 1e-3, "at {}", at.get());
     }
 }

@@ -1,0 +1,279 @@
+//! Offline stand-in for `criterion`: a small but real micro-benchmark
+//! harness (see `third_party/README.md`).
+//!
+//! Each `Bencher::iter` call calibrates a batch size so one batch runs for
+//! a few milliseconds, then times `sample_size` batches and reports the
+//! mean/min ns-per-iteration (plus derived throughput when the group set
+//! one). Command-line arguments that are not flags act as substring
+//! filters on the benchmark id, like the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Unit the id's measured time is divided by for a throughput line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// One measured result.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Full benchmark id (`group/function`).
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Iterations per timed batch.
+    pub iters_per_sample: u64,
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    filters: Vec<String>,
+    /// All results measured so far (inspectable by custom mains).
+    pub samples: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            sample_size: 20,
+            filters,
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark (min 5).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Run one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.as_ref(), None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(id) {
+            return;
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let sample = Sample {
+            id: id.to_owned(),
+            mean_ns: b.mean_ns,
+            min_ns: b.min_ns,
+            iters_per_sample: b.iters,
+        };
+        let line = match throughput {
+            Some(Throughput::Bytes(n)) => format!(
+                "{:<44} time: {:>12} ({:.1} MiB/s)",
+                sample.id,
+                fmt_ns(sample.mean_ns),
+                n as f64 / (sample.mean_ns / 1e9) / (1024.0 * 1024.0)
+            ),
+            Some(Throughput::Elements(n)) => format!(
+                "{:<44} time: {:>12} ({:.0} elem/s)",
+                sample.id,
+                fmt_ns(sample.mean_ns),
+                n as f64 / (sample.mean_ns / 1e9)
+            ),
+            None => format!("{:<44} time: {:>12}", sample.id, fmt_ns(sample.mean_ns)),
+        };
+        println!("{line}");
+        self.samples.push(sample);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group sharing a name prefix and optional throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput unit.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(5);
+        self
+    }
+
+    /// Run one benchmark in the group (id becomes `group/function`).
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let t = self.throughput;
+        self.c.run_one(&full, t, f);
+        self
+    }
+
+    /// Close the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` performs the measurement.
+pub struct Bencher {
+    sample_size: usize,
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`: calibrate a batch size (~2 ms per batch), then
+    /// time `sample_size` batches.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // warmup + calibration
+        let target = Duration::from_millis(2);
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let el = t0.elapsed();
+            if el >= target || iters >= 1 << 28 {
+                if el > Duration::ZERO && el < target {
+                    let scale = target.as_secs_f64() / el.as_secs_f64();
+                    iters = ((iters as f64 * scale).ceil() as u64).max(iters);
+                }
+                break;
+            }
+            iters *= 2;
+        }
+        // measurement
+        let mut total_ns = 0.0;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+            total_ns += ns;
+            min_ns = min_ns.min(ns);
+        }
+        self.mean_ns = total_ns / self.sample_size as f64;
+        self.min_ns = min_ns;
+        self.iters = iters;
+    }
+}
+
+/// Define a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion {
+            sample_size: 5,
+            filters: Vec::new(),
+            samples: Vec::new(),
+        };
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        assert_eq!(c.samples.len(), 1);
+        assert!(c.samples[0].mean_ns > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 5,
+            filters: vec!["xyz".into()],
+            samples: Vec::new(),
+        };
+        c.bench_function("abc", |b| b.iter(|| 1u32));
+        assert!(c.samples.is_empty());
+    }
+}

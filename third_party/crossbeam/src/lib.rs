@@ -1,0 +1,53 @@
+//! Offline stand-in for `crossbeam`: scoped threads over
+//! `std::thread::scope`. See `third_party/README.md`.
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::thread::Scope as StdScope;
+
+    /// Handle passed to the scope closure; spawns threads that may borrow
+    /// from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope StdScope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope handle
+        /// (crossbeam convention), which allows nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope handle; joins all spawned threads before
+    /// returning. Returns `Err` if any spawned thread panicked (matching
+    /// crossbeam's contract); std's scope propagates child panics as a
+    /// panic on join, so in practice a child panic unwinds here.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope, 'a> FnOnce(&'a Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let data = [1u64, 2, 3, 4];
+        let mut results = vec![0u64; data.len()];
+        crate::thread::scope(|scope| {
+            for (slot, &x) in results.iter_mut().zip(&data) {
+                scope.spawn(move |_| *slot = x * 10);
+            }
+        })
+        .expect("threads");
+        assert_eq!(results, vec![10, 20, 30, 40]);
+    }
+}

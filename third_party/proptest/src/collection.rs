@@ -1,0 +1,168 @@
+//! Collection strategies: `vec`, `btree_map`, `btree_set`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive-exclusive bounds on a generated collection's length.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.usize_in(self.lo, self.hi)
+    }
+}
+
+/// `Vec`s of `element` with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `BTreeMap`s over `key`/`value` with a size in `size`.
+///
+/// Keys may collide; up to 4× the target size is attempted, so the result
+/// can come up short when the key space is narrow (matches the real
+/// crate's best-effort behaviour).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V> {
+    BTreeMapStrategy { key, value, size: size.into() }
+}
+
+/// See [`btree_map`].
+#[derive(Clone, Debug)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut out = BTreeMap::new();
+        for _ in 0..4 * n.max(1) {
+            if out.len() >= n {
+                break;
+            }
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+        }
+        out
+    }
+}
+
+/// `BTreeSet`s of `element` with a size in `size` (best-effort, like
+/// [`btree_map`]).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+/// See [`btree_set`].
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        for _ in 0..4 * n.max(1) {
+            if out.len() >= n {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_len_in_range() {
+        let s = vec(0u8..255, 2..6);
+        let mut rng = TestRng::new(21);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn map_hits_target_with_wide_keyspace() {
+        let s = btree_map(0u64..1_000_000, 0u8..10, 5..8);
+        let mut rng = TestRng::new(22);
+        for _ in 0..200 {
+            let m = s.generate(&mut rng);
+            assert!((5..8).contains(&m.len()), "len {}", m.len());
+        }
+    }
+
+    #[test]
+    fn set_bounded_when_keyspace_narrow() {
+        // only 3 possible elements; asking for 5 must terminate anyway
+        let s = btree_set(0u8..3, 5..6);
+        let mut rng = TestRng::new(23);
+        let set = s.generate(&mut rng);
+        assert!(set.len() <= 3);
+    }
+}

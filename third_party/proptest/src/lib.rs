@@ -1,0 +1,105 @@
+//! Offline stand-in for `proptest`: deterministic random property testing
+//! without shrinking (see `third_party/README.md`).
+//!
+//! The [`proptest!`] macro runs each property over `ProptestConfig::cases`
+//! pseudo-random cases seeded from the test's name, so failures are
+//! reproducible run-to-run. On a failing case the harness prints the case
+//! index and seed before propagating the panic; it does not shrink the
+//! counterexample.
+
+pub mod collection;
+pub mod option;
+pub mod string;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the idiomatic `use proptest::prelude::*;` import expects.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Define property tests: `fn name(pat in strategy, ...) { body }`.
+///
+/// Accepts an optional `#![proptest_config(...)]` header selecting the
+/// case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::test_runner::seed_from_name(stringify!($name));
+                let mut rng = $crate::test_runner::TestRng::new(seed);
+                for case in 0..config.cases {
+                    let result = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| {
+                            $(
+                                let $pat =
+                                    $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                            )+
+                            $body
+                        })
+                    );
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest: property {} failed at case {}/{} (seed {:#x})",
+                            stringify!($name), case, config.cases, seed
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,348 @@
+//! String-from-regex strategies.
+//!
+//! Supports the subset of regex syntax this workspace's tests use:
+//! literals, escapes, `\d`/`\w`/`\s`/`\PC`, character classes with ranges
+//! (`[a-zA-Z0-9_.-]`, `[ -~]`), groups, alternation, and the quantifiers
+//! `?`, `*`, `+`, `{n}`, `{n,}`, `{n,m}`. Unbounded repetition is capped
+//! at 8.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Parse failure from [`string_regex`].
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex strategy: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Strings matching `pattern` (anchored, as in the real crate).
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+    let mut p = Parser { chars: pattern.chars().collect(), pos: 0 };
+    let node = p.parse_alt()?;
+    if p.pos != p.chars.len() {
+        return Err(Error(format!("trailing input at {}", p.pos)));
+    }
+    Ok(RegexStrategy { node })
+}
+
+/// See [`string_regex`].
+#[derive(Clone, Debug)]
+pub struct RegexStrategy {
+    node: Node,
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        self.node.emit(rng, &mut out);
+        out
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Seq(Vec<Node>),
+    Alt(Vec<Node>),
+    Class(Vec<char>),
+    Lit(char),
+    Repeat(Box<Node>, u32, u32),
+}
+
+impl Node {
+    fn emit(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Node::Seq(parts) => {
+                for p in parts {
+                    p.emit(rng, out);
+                }
+            }
+            Node::Alt(opts) => opts[rng.usize_in(0, opts.len())].emit(rng, out),
+            Node::Class(chars) => out.push(chars[rng.usize_in(0, chars.len())]),
+            Node::Lit(c) => out.push(*c),
+            Node::Repeat(inner, lo, hi) => {
+                let n = *lo + rng.below((*hi - *lo + 1) as u64) as u32;
+                for _ in 0..n {
+                    inner.emit(rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Every ASCII-printable character plus a few multibyte ones, for `\PC`
+/// (any char outside Unicode category C — approximated by a pool).
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+    pool.extend(['ä', 'é', 'λ', '中', '→']);
+    pool
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, Error> {
+        let mut opts = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.next();
+            opts.push(self.parse_seq()?);
+        }
+        Ok(if opts.len() == 1 { opts.pop().unwrap() } else { Node::Alt(opts) })
+    }
+
+    fn parse_seq(&mut self) -> Result<Node, Error> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            parts.push(self.parse_quantifier(atom)?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Node::Seq(parts) })
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, Error> {
+        match self.next() {
+            Some('(') => {
+                // tolerate non-capturing prefix
+                if self.peek() == Some('?') {
+                    self.next();
+                    if self.next() != Some(':') {
+                        return Err(Error("unsupported group flag".into()));
+                    }
+                }
+                let inner = self.parse_alt()?;
+                if self.next() != Some(')') {
+                    return Err(Error("unclosed group".into()));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => self.parse_escape(),
+            Some('.') => Ok(Node::Class(printable_pool())),
+            Some(c @ ('*' | '+' | '?' | '{' | ')')) => {
+                Err(Error(format!("dangling metacharacter {c:?}")))
+            }
+            Some(c) => Ok(Node::Lit(c)),
+            None => Err(Error("unexpected end of pattern".into())),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Node, Error> {
+        match self.next() {
+            Some('d') => Ok(Node::Class(('0'..='9').collect())),
+            Some('w') => {
+                let mut cs: Vec<char> = ('a'..='z').collect();
+                cs.extend('A'..='Z');
+                cs.extend('0'..='9');
+                cs.push('_');
+                Ok(Node::Class(cs))
+            }
+            Some('s') => Ok(Node::Class(vec![' ', '\t', '\n'])),
+            Some('P') => {
+                // only \PC ("not category C" = printable) is used
+                if self.next() != Some('C') {
+                    return Err(Error("unsupported \\P category".into()));
+                }
+                Ok(Node::Class(printable_pool()))
+            }
+            Some('n') => Ok(Node::Lit('\n')),
+            Some('t') => Ok(Node::Lit('\t')),
+            Some(c) => Ok(Node::Lit(c)),
+            None => Err(Error("dangling backslash".into())),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, Error> {
+        if self.peek() == Some('^') {
+            return Err(Error("negated classes unsupported".into()));
+        }
+        let mut chars = Vec::new();
+        loop {
+            let c = match self.next() {
+                None => return Err(Error("unclosed character class".into())),
+                Some(']') => break,
+                Some('\\') => match self.parse_escape()? {
+                    Node::Lit(c) => c,
+                    Node::Class(cs) => {
+                        chars.extend(cs);
+                        continue;
+                    }
+                    _ => return Err(Error("bad escape in class".into())),
+                },
+                Some(c) => c,
+            };
+            // range if a '-' follows and isn't the closing char
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.next();
+                let hi = match self.next() {
+                    Some('\\') => match self.parse_escape()? {
+                        Node::Lit(c) => c,
+                        _ => return Err(Error("bad range bound".into())),
+                    },
+                    Some(h) => h,
+                    None => return Err(Error("unclosed character class".into())),
+                };
+                if (hi as u32) < (c as u32) {
+                    return Err(Error(format!("inverted range {c}-{hi}")));
+                }
+                for u in c as u32..=hi as u32 {
+                    if let Some(ch) = char::from_u32(u) {
+                        chars.push(ch);
+                    }
+                }
+            } else {
+                chars.push(c);
+            }
+        }
+        if chars.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok(Node::Class(chars))
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Result<Node, Error> {
+        let (lo, hi) = match self.peek() {
+            Some('?') => (0, 1),
+            Some('*') => (0, UNBOUNDED_CAP),
+            Some('+') => (1, UNBOUNDED_CAP),
+            Some('{') => {
+                self.next();
+                let lo = self.parse_number()?;
+                let hi = match self.peek() {
+                    Some(',') => {
+                        self.next();
+                        if self.peek() == Some('}') {
+                            lo.max(UNBOUNDED_CAP)
+                        } else {
+                            self.parse_number()?
+                        }
+                    }
+                    _ => lo,
+                };
+                if self.next() != Some('}') {
+                    return Err(Error("unclosed repetition".into()));
+                }
+                if hi < lo {
+                    return Err(Error(format!("inverted repetition {{{lo},{hi}}}")));
+                }
+                return Ok(Node::Repeat(Box::new(atom), lo, hi));
+            }
+            _ => return Ok(atom),
+        };
+        self.next();
+        Ok(Node::Repeat(Box::new(atom), lo, hi))
+    }
+
+    fn parse_number(&mut self) -> Result<u32, Error> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.next();
+        }
+        if self.pos == start {
+            return Err(Error("expected number in repetition".into()));
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|_| Error("repetition count overflow".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn all_match(pattern: &str, check: impl Fn(&str) -> bool) {
+        let s = string_regex(pattern).expect("parse");
+        let mut rng = TestRng::new(41);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!(check(&v), "pattern {pattern:?} produced {v:?}");
+        }
+    }
+
+    #[test]
+    fn ident_class_with_bounds() {
+        all_match("[a-zA-Z0-9_.-]{1,24}", |v| {
+            (1..=24).contains(&v.chars().count())
+                && v.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c))
+        });
+    }
+
+    #[test]
+    fn alternation_picks_variants() {
+        all_match("(string|int|double|boolean)", |v| {
+            ["string", "int", "double", "boolean"].contains(&v)
+        });
+    }
+
+    #[test]
+    fn printable_space_to_tilde() {
+        all_match("[ -~]{0,24}", |v| {
+            v.chars().count() <= 24 && v.chars().all(|c| (' '..='~').contains(&c))
+        });
+    }
+
+    #[test]
+    fn nested_optional_groups() {
+        // trimmed-string shape: empty, or printable with non-space ends
+        all_match("([!-~]([ -~]{0,20}[!-~])?)?", |v| {
+            v.is_empty()
+                || (v.chars().all(|c| (' '..='~').contains(&c))
+                    && !v.starts_with(' ')
+                    && !v.ends_with(' '))
+        });
+    }
+
+    #[test]
+    fn leading_letter_then_tail() {
+        all_match("[A-Za-z][A-Za-z0-9_.:-]{0,12}", |v| {
+            v.chars().next().unwrap().is_ascii_alphabetic() && v.chars().count() <= 13
+        });
+    }
+
+    #[test]
+    fn printable_category_escape() {
+        all_match("\\PC{0,40}", |v| {
+            v.chars().count() <= 40 && v.chars().all(|c| !c.is_control())
+        });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(string_regex("[").is_err());
+        assert!(string_regex("(a").is_err());
+        assert!(string_regex("a{3,1}").is_err());
+        assert!(string_regex("*a").is_err());
+    }
+}
