@@ -65,6 +65,34 @@ fn bench_recorder(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    const PAIRS: u64 = 4096;
+    let mut g = c.benchmark_group("telemetry");
+    g.throughput(Throughput::Elements(PAIRS));
+    g.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(3);
+            for _ in 0..PAIRS {
+                let id = sim.span_begin("bench.span");
+                sim.span_end(id);
+            }
+            black_box(&mut sim);
+        })
+    });
+    g.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(3);
+            sim.enable_telemetry();
+            for _ in 0..PAIRS {
+                let id = sim.span_begin("bench.span");
+                sim.span_end(id);
+            }
+            black_box(&mut sim);
+        })
+    });
+    g.finish();
+}
+
 fn bench_fig6_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.bench_function("fig6_invocation", |b| {
@@ -91,6 +119,7 @@ criterion_group!(
     bench_event_queue,
     bench_ps_flows,
     bench_recorder,
+    bench_telemetry,
     bench_fig6_pipeline
 );
 criterion_main!(kernel);

@@ -11,6 +11,9 @@
 //! * periodic hard-disk write peaks from the tentative output requests.
 //!
 //! Run with: `cargo run -p onserve-bench --bin fig6`
+//!
+//! Pass `--trace fig6.trace.json` to record the run's causal span tree
+//! and dump it as Chrome trace-event JSON (open in Perfetto).
 
 use onserve::deployment::DeploymentSpec;
 use onserve::profile::ExecutionProfile;
@@ -19,7 +22,11 @@ use simkit::Duration;
 use wsstack::SoapValue;
 
 fn main() {
+    let trace = onserve_bench::trace_arg();
     let mut r = Runner::new(6, &DeploymentSpec::default());
+    if trace.is_some() {
+        r.sim.enable_telemetry();
+    }
     // a very small file (some bytes); the job runs ~60 s and writes a
     // modest output that the poller keeps re-fetching
     r.publish(
@@ -119,4 +126,8 @@ fn main() {
         "  tentative output polls    {}",
         r.d.agent.polls_issued()
     );
+
+    if let Some(path) = trace {
+        onserve_bench::write_trace(&r.sim, &path).expect("write trace");
+    }
 }

@@ -10,6 +10,9 @@
 //! * the periodic output-polling disk writes continue underneath.
 //!
 //! Run with: `cargo run -p onserve-bench --bin fig7`
+//!
+//! Pass `--trace fig7.trace.json` to dump the run's causal span tree as
+//! Chrome trace-event JSON (open in Perfetto).
 
 use onserve::deployment::DeploymentSpec;
 use onserve::profile::ExecutionProfile;
@@ -17,7 +20,11 @@ use onserve_bench::{curve_from, render_figure, trim_curves, Runner, KB};
 use simkit::Duration;
 
 fn main() {
+    let trace = onserve_bench::trace_arg();
     let mut r = Runner::new(7, &DeploymentSpec::default());
+    if trace.is_some() {
+        r.sim.enable_telemetry();
+    }
     r.publish(
         "large.exe",
         5 * 1024 * 1024,
@@ -103,4 +110,8 @@ fn main() {
     println!(
         "  disk busy                 {disk_busy:.2} s — \"the hard disk is not the limiting factor\""
     );
+
+    if let Some(path) = trace {
+        onserve_bench::write_trace(&r.sim, &path).expect("write trace");
+    }
 }

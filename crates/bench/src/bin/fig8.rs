@@ -14,16 +14,26 @@
 //! passes visible (the 3 s view is also printed for fidelity).
 //!
 //! Run with: `cargo run -p onserve-bench --bin fig8`
+//!
+//! Pass `--trace fig8.trace.json` to dump the fine-sampled run's causal
+//! span tree as Chrome trace-event JSON (the double-write shows up as
+//! two `db.*_write` child spans under `db.store`).
 
 use onserve::deployment::DeploymentSpec;
 use onserve::profile::ExecutionProfile;
 use onserve_bench::{curve_from, render_figure, trim_curves, Runner, KB};
 use simkit::{Duration, SimTime, MB};
 
-fn run(interval: Duration, title: &str) -> (String, f64, usize) {
+fn run(interval: Duration, title: &str, trace: Option<&std::path::Path>) -> (String, f64, usize) {
     let mut r = Runner::with_sampling(8, &DeploymentSpec::default(), interval);
+    if trace.is_some() {
+        r.sim.enable_telemetry();
+    }
     let t0 = SimTime::ZERO;
     r.publish("upload5mb.exe", 5 * 1024 * 1024, ExecutionProfile::quick(), &[]);
+    if let Some(path) = trace {
+        onserve_bench::write_trace(&r.sim, path).expect("write trace");
+    }
     let iv = interval.as_secs_f64();
     let rec = r.sim.recorder_ref();
     let mut curves = vec![
@@ -85,9 +95,11 @@ fn run(interval: Duration, title: &str) -> (String, f64, usize) {
 }
 
 fn main() {
+    let trace = onserve_bench::trace_arg();
     let (fine, disk_total, passes) = run(
         Duration::from_millis(200),
         "Figure 8 — upload + generate Web service (200 ms sampling)",
+        trace.as_deref(),
     );
     println!("{fine}");
     println!("summary:");
@@ -100,6 +112,7 @@ fn main() {
     let (coarse, _, _) = run(
         Duration::from_secs(3),
         "Same run at the paper's 3 s sampling (passes merge into one bucket)",
+        None,
     );
     println!("{coarse}");
 }

@@ -8,6 +8,13 @@
 //!
 //! Run with: `cargo run --release -p onserve-bench --bin perfbaseline`
 //!
+//! With `--check`, the binary re-measures every scenario and compares
+//! against the committed `BENCH_kernel.json` instead of overwriting it,
+//! exiting non-zero if any scenario regressed by more than 25% — the
+//! CI perf gate (`scripts/ci.sh`). The generous margin absorbs shared-
+//! runner noise; real regressions from algorithmic changes are far
+//! larger.
+//!
 //! The criterion benches in `benches/kernel.rs` cover the same scenarios
 //! interactively; this binary exists because bins cannot link
 //! dev-dependencies, and because a flat JSON file is easier to track than
@@ -116,6 +123,36 @@ fn bench_recorder() -> Entry {
     })
 }
 
+/// The span API with telemetry off — the common case, which must cost no
+/// more than a null check. One op = one begin/end pair.
+fn bench_span_disabled() -> Entry {
+    const PAIRS: u64 = 4096;
+    measure("telemetry.span_disabled", 20, || {
+        let mut sim = Sim::new(3);
+        for _ in 0..PAIRS {
+            let id = sim.span_begin("bench.span");
+            sim.span_end(id);
+        }
+        std::hint::black_box(&mut sim);
+        PAIRS
+    })
+}
+
+/// The span API with telemetry on; one op = one recorded begin/end pair.
+fn bench_span_enabled() -> Entry {
+    const PAIRS: u64 = 4096;
+    measure("telemetry.span_enabled", 20, || {
+        let mut sim = Sim::new(3);
+        sim.enable_telemetry();
+        for _ in 0..PAIRS {
+            let id = sim.span_begin("bench.span");
+            sim.span_end(id);
+        }
+        std::hint::black_box(&mut sim);
+        PAIRS
+    })
+}
+
 /// The full Figure-6 invocation pipeline; one op = one invocation.
 fn bench_fig6_pipeline() -> Entry {
     measure("pipeline.fig6", 10, || {
@@ -134,13 +171,19 @@ fn bench_fig6_pipeline() -> Entry {
     })
 }
 
+/// Maximum tolerated mean-ns ratio vs the committed baseline in `--check`.
+const CHECK_TOLERANCE: f64 = 1.25;
+
 fn main() {
+    let check = std::env::args().any(|a| a == "--check");
     let entries = vec![
         bench_event_queue(),
         bench_ps_flows("server.ps_flows_2", 2),
         bench_ps_flows("server.ps_flows_16", 16),
         bench_ps_flows("server.ps_flows_64", 64),
         bench_recorder(),
+        bench_span_disabled(),
+        bench_span_enabled(),
         bench_fig6_pipeline(),
     ];
 
@@ -149,6 +192,46 @@ fn main() {
             "{:<24} {:>12.1} ns/op  (min {:>10.1})  {:>14.0} ops/s",
             e.name, e.mean_ns, e.min_ns, e.ops_per_sec
         );
+    }
+
+    // repo root = two levels above this crate's manifest
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+        .to_path_buf();
+    let path = root.join("BENCH_kernel.json");
+
+    if check {
+        let committed = std::fs::read_to_string(&path).expect("read BENCH_kernel.json");
+        let doc = simkit::telemetry::parse_json(&committed).expect("parse BENCH_kernel.json");
+        let mut regressions = 0;
+        for e in &entries {
+            let base = doc
+                .get(e.name)
+                .and_then(|s| s.get("mean_ns"))
+                .and_then(|v| v.as_num());
+            match base {
+                None => eprintln!("  {:<24} no committed baseline (new scenario)", e.name),
+                Some(base) if e.mean_ns > base * CHECK_TOLERANCE => {
+                    eprintln!(
+                        "REGRESSION {:<24} {:.1} ns/op vs baseline {:.1} (+{:.0}%)",
+                        e.name,
+                        e.mean_ns,
+                        base,
+                        100.0 * (e.mean_ns / base - 1.0)
+                    );
+                    regressions += 1;
+                }
+                Some(_) => {}
+            }
+        }
+        if regressions > 0 {
+            eprintln!("perf check FAILED: {regressions} scenario(s) regressed");
+            std::process::exit(1);
+        }
+        eprintln!("(perf check OK against {})", path.display());
+        return;
     }
 
     let mut json = String::from("{\n");
@@ -160,14 +243,6 @@ fn main() {
         ));
     }
     json.push_str("}\n");
-
-    // repo root = two levels above this crate's manifest
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("repo root")
-        .to_path_buf();
-    let path = root.join("BENCH_kernel.json");
     std::fs::write(&path, json).expect("write BENCH_kernel.json");
     eprintln!("(baseline written to {})", path.display());
 }

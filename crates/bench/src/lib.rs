@@ -169,6 +169,38 @@ pub fn render_figure(title: &str, note: &str, curves: &[Curve]) -> String {
 /// The paper's KB (1024 bytes).
 pub const KB: f64 = 1024.0;
 
+/// Parse `--trace <path>` (or `--trace=<path>`) from the process
+/// arguments. Figure binaries use this to opt into telemetry: when the
+/// flag is present they enable tracing on the simulator and dump a
+/// Chrome trace-event file at exit.
+pub fn trace_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Write the run's telemetry as Chrome trace-event JSON to `path`
+/// (loadable in Perfetto / `chrome://tracing`; timestamps are virtual
+/// microseconds) and print the span-tree summary plus kernel profile to
+/// stderr.
+pub fn write_trace(sim: &Sim, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, sim.export_chrome_trace())?;
+    eprintln!(
+        "(trace written to {}; load it at https://ui.perfetto.dev)",
+        path.display()
+    );
+    eprint!("{}", sim.span_summary());
+    eprint!("{}", sim.profile());
+    Ok(())
+}
+
 /// Run `f(index, &item)` for every sweep point on its own host thread and
 /// return the results in input order.
 ///

@@ -30,9 +30,12 @@ fn golden(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-#[test]
-fn fig6_curves_match_golden() {
+/// The fig6 pipeline's CSV plus the number of telemetry spans recorded.
+fn fig6_csv(telemetry: bool) -> (String, usize) {
     let mut r = Runner::new(6, &DeploymentSpec::default());
+    if telemetry {
+        r.sim.enable_telemetry();
+    }
     r.publish(
         "small.exe",
         64,
@@ -84,7 +87,24 @@ fn fig6_curves_match_golden() {
         ),
     ];
     trim_curves(&mut curves);
-    assert_eq!(csv_of(&curves), golden("fig6.csv"), "fig6 CSV drifted");
+    let spans = r.sim.telemetry().map_or(0, |t| t.spans().len());
+    (csv_of(&curves), spans)
+}
+
+#[test]
+fn fig6_curves_match_golden() {
+    let (csv, _) = fig6_csv(false);
+    assert_eq!(csv, golden("fig6.csv"), "fig6 CSV drifted");
+}
+
+/// Result-neutrality: running the exact same pipeline with the full span/
+/// counter machinery turned on must not move a single byte of the golden
+/// CSV — telemetry observes the schedule, it never participates in it.
+#[test]
+fn fig6_curves_unchanged_with_telemetry_enabled() {
+    let (csv, spans) = fig6_csv(true);
+    assert_eq!(csv, golden("fig6.csv"), "telemetry perturbed the fig6 CSV");
+    assert!(spans > 10, "expected a populated span tree, got {spans} spans");
 }
 
 #[test]

@@ -85,11 +85,23 @@ impl TimedDb {
         F: FnOnce(&mut Sim, Result<u64, DbError>, StoreTiming) + 'static,
     {
         let bytes = data.len() as f64;
+        let span = sim.span_begin("db.store");
+        sim.span_attr(span, "file", name);
+        sim.span_attr(span, "bytes", bytes);
         let this = Rc::clone(self);
         let name = name.to_owned();
         let description = description.to_owned();
+        // single close point: every exit path funnels through `done`
+        let done = move |sim: &mut Sim, res: Result<u64, DbError>, timing: StoreTiming| {
+            match &res {
+                Ok(_) => sim.span_end(span),
+                Err(e) => sim.span_fail(span, &e.to_string()),
+            }
+            done(sim, res, timing);
+        };
         let insert = move |sim: &mut Sim, mut timing: StoreTiming| {
             // compress on CPU, then one disk write of the compressed blob
+            let wspan = sim.span_child("db.db_write", span);
             let cpu = compress_cpu_secs(bytes);
             timing.cpu_seconds += cpu;
             let this2 = Rc::clone(&this);
@@ -111,21 +123,31 @@ impl TimedDb {
                         timing.disk_write_bytes += stored;
                         let host = Rc::clone(&this2.host);
                         host.write_disk(sim, stored, move |sim| {
+                            sim.span_attr(wspan, "bytes", stored);
+                            sim.span_end(wspan);
                             done(sim, Ok(id), timing);
                         });
                     }
-                    Err(e) => done(sim, Err(e), timing),
+                    Err(e) => {
+                        sim.span_fail(wspan, &e.to_string());
+                        done(sim, Err(e), timing);
+                    }
                 }
             });
         };
         match self.strategy {
             WriteStrategy::Direct => insert(sim, StoreTiming::default()),
             WriteStrategy::DoubleWrite => {
-                // temp write, then read it back, then the DB path
+                // temp write, then read it back, then the DB path; the two
+                // child spans make the §VIII-D3 double-write visible in a
+                // trace of the upload
+                let tspan = sim.span_child("db.temp_write", span);
+                sim.span_attr(tspan, "bytes", bytes);
                 let host = Rc::clone(&self.host);
                 let host2 = Rc::clone(&self.host);
                 host.write_disk(sim, bytes, move |sim| {
                     host2.read_disk(sim, bytes, move |sim| {
+                        sim.span_end(tspan);
                         insert(
                             sim,
                             StoreTiming {
@@ -148,6 +170,8 @@ impl TimedDb {
     where
         F: FnOnce(&mut Sim, Result<Bytes, DbError>, StoreTiming) + 'static,
     {
+        let span = sim.span_begin("db.load");
+        sim.span_attr(span, "file", name);
         let (stored_len, result) = {
             let db = self.db.borrow();
             match db.load(name) {
@@ -159,9 +183,13 @@ impl TimedDb {
             }
         };
         match result {
-            Err(e) => done(sim, Err(e), StoreTiming::default()),
+            Err(e) => {
+                sim.span_fail(span, &e.to_string());
+                done(sim, Err(e), StoreTiming::default());
+            }
             Ok(data) => {
                 let bytes = data.len() as f64;
+                sim.span_attr(span, "bytes", bytes);
                 let cpu = decompress_cpu_secs(bytes);
                 let timing = StoreTiming {
                     disk_write_bytes: bytes,
@@ -180,6 +208,7 @@ impl TimedDb {
                         host3.write_disk(sim, bytes, move |sim| {
                             // read back when handing it onward
                             host4.read_disk(sim, bytes, move |sim| {
+                                sim.span_end(span);
                                 done(sim, Ok(data), timing);
                             });
                         });

@@ -20,7 +20,7 @@ use blobstore::{DbError, ParamSpec, TimedDb, WriteStrategy};
 use bytes::Bytes;
 use cyberaide::{CyberaideAgent, OutputPoller, PollError};
 use gridsim::{BrokerPolicy, GridError, JobDescription};
-use simkit::{Duration, Host, Sim};
+use simkit::{Duration, Host, Sim, SpanId};
 use wsstack::container::Responder;
 use wsstack::uddi::BindingTemplate;
 use wsstack::{ClientStub, ServiceArchive, SoapContainer, SoapFault, SoapValue, UddiRegistry};
@@ -266,6 +266,17 @@ impl OnServe {
         let owner_pass = owner.1.to_owned();
         let file_name2 = file_name.to_owned();
         let description2 = description.to_owned();
+        let up_span = sim.span_begin("onserve.upload");
+        sim.span_attr(up_span, "file", file_name);
+        // single close point: every exit path funnels through `done`
+        let done = move |sim: &mut Sim, res: Result<PublishedService, UploadError>| {
+            match &res {
+                Ok(_) => sim.span_end(up_span),
+                Err(e) => sim.span_fail(up_span, &e.to_string()),
+            }
+            done(sim, res)
+        };
+        let prev = sim.set_span_parent(up_span);
         self.db.clone().store(
             sim,
             file_name,
@@ -291,7 +302,10 @@ impl OnServe {
                 // the ant build burns appliance CPU before deployment
                 let this2 = Rc::clone(&this);
                 let host = Rc::clone(&this.host);
+                let build_span = sim.span_child("generator.build", up_span);
+                sim.span_attr(build_span, "cpu_secs", generated.build_cpu_secs);
                 host.compute(sim, generated.build_cpu_secs, move |sim| {
+                    sim.span_end(build_span);
                     let service_name = generated.service_name.clone();
                     let wsdl_text = generated.wsdl.to_text();
                     let endpoint = generated.wsdl.endpoint.clone();
@@ -304,6 +318,7 @@ impl OnServe {
                     };
                     let this3 = Rc::clone(&this2);
                     let container = Rc::clone(&this2.container);
+                    let prev = sim.set_span_parent(up_span);
                     SoapContainer::deploy(&container, sim, archive, move |sim, dres| {
                         if let Err(f) = dres {
                             return done(
@@ -311,6 +326,7 @@ impl OnServe {
                                 Err(UploadError::Generation(format!("deploy failed: {f}"))),
                             );
                         }
+                        let pub_span = sim.span_child("uddi.publish", up_span);
                         let publish = this3.registry.borrow_mut().publish(
                             "Cyberaide onServe",
                             &service_name,
@@ -322,10 +338,13 @@ impl OnServe {
                         );
                         match publish {
                             Err(e) => {
+                                sim.span_fail(pub_span, &e.to_string());
                                 this3.container.borrow_mut().undeploy(&service_name);
                                 done(sim, Err(UploadError::Registry(e.to_string())))
                             }
                             Ok(service_key) => {
+                                sim.span_attr(pub_span, "service_key", service_key.as_str());
+                                sim.span_end(pub_span);
                                 this3.services.borrow_mut().insert(
                                     service_name.clone(),
                                     ServiceMeta {
@@ -349,9 +368,11 @@ impl OnServe {
                             }
                         }
                     });
+                    sim.set_span_parent(prev);
                 });
             },
         );
+        sim.set_span_parent(prev);
     }
 
     /// Replace a published service's executable (and optionally its
@@ -522,6 +543,10 @@ impl OnServe {
     ) {
         self.invocations.set(self.invocations.get() + 1);
         let invocation_no = self.invocations.get();
+        let inv_span = sim.span_begin("onserve.invoke");
+        sim.span_attr(inv_span, "service", service_name);
+        sim.span_attr(inv_span, "invocation", invocation_no);
+        sim.counter_add("onserve.invocations", 1);
         // one-shot responder shared between the pipeline and the watchdog
         let slot: Rc<RefCell<Option<Responder>>> = Rc::new(RefCell::new(Some(respond)));
         let fail: FailFn = {
@@ -531,6 +556,8 @@ impl OnServe {
                 if let Some(r) = slot.borrow_mut().take() {
                     this.invocation_failures
                         .set(this.invocation_failures.get() + 1);
+                    sim.counter_add("onserve.failures", 1);
+                    sim.span_fail(inv_span, &e.to_string());
                     r(sim, Err(e.into()));
                 }
             })
@@ -560,6 +587,7 @@ impl OnServe {
         };
         let slot_for_dog = Rc::clone(&slot);
         let this = Rc::clone(self);
+        let timeout_secs = self.config.invocation_timeout.as_secs_f64();
         let dog = Rc::new(Watchdog::arm(
             sim,
             self.config.invocation_timeout,
@@ -567,6 +595,9 @@ impl OnServe {
                 if let Some(r) = slot_for_dog.borrow_mut().take() {
                     this.invocation_failures
                         .set(this.invocation_failures.get() + 1);
+                    sim.counter_add("onserve.failures", 1);
+                    sim.span_attr(inv_span, "timeout_secs", timeout_secs);
+                    sim.span_fail(inv_span, "watchdog_timeout");
                     r(sim, Err(InvokeError::WatchdogTimeout.into()));
                 }
             },
@@ -575,6 +606,7 @@ impl OnServe {
         let this = Rc::clone(self);
         let fail1 = Rc::clone(&fail);
         let exe_arg = meta_exe.clone();
+        let prev = sim.set_span_parent(inv_span);
         self.db.clone().load_for_use(sim, &exe_arg, move |sim, res, _t| {
             let fail = fail1;
             let data = match res {
@@ -605,6 +637,7 @@ impl OnServe {
                         fail: fail2,
                         slot: slot2,
                         dog,
+                        span: inv_span,
                     });
                     OnServe::grid_attempt(ctx, sim);
                 })
@@ -628,6 +661,7 @@ impl OnServe {
                 Some(session) => with_session(sim, session),
                 None => {
                     let fail_auth = Rc::clone(&fail);
+                    let prev = sim.set_span_parent(inv_span);
                     agent.authenticate(sim, &owner_user, &owner_pass, move |sim, auth| {
                         match auth {
                             Ok(session) => {
@@ -642,9 +676,11 @@ impl OnServe {
                             Err(e) => fail_auth(sim, InvokeError::Grid(e.to_string())),
                         }
                     });
+                    sim.set_span_parent(prev);
                 }
             }
         });
+        sim.set_span_parent(prev);
     }
 }
 
@@ -664,6 +700,8 @@ struct AttemptCtx {
     fail: FailFn,
     slot: Rc<RefCell<Option<Responder>>>,
     dog: Rc<Watchdog>,
+    /// The invocation root span every grid-side stage nests under.
+    span: SpanId,
 }
 
 impl AttemptCtx {
@@ -761,6 +799,7 @@ impl OnServe {
             // Step 6 — job submission
             let ctx3 = Rc::clone(&ctx);
             let site2 = Rc::clone(&site);
+            let prev = sim.set_span_parent(ctx.span);
             ctx.onserve.agent.clone().submit_job(
                 sim,
                 ctx.session,
@@ -792,6 +831,7 @@ impl OnServe {
                     };
                     let ctx4 = Rc::clone(&ctx);
                     let site_name = site2.name().to_owned();
+                    let prev = sim.set_span_parent(ctx.span);
                     poller.start(
                         sim,
                         Rc::clone(&ctx.onserve.agent),
@@ -805,6 +845,13 @@ impl OnServe {
                                     ctx.logout();
                                     if ctx.dog.disarm(sim) {
                                         if let Some(r) = ctx.slot.borrow_mut().take() {
+                                            sim.span_attr(
+                                                ctx.span,
+                                                "output_bytes",
+                                                stats.final_bytes as u64,
+                                            );
+                                            sim.span_attr(ctx.span, "polls", stats.polls);
+                                            sim.span_end(ctx.span);
                                             r(
                                                 sim,
                                                 Ok(SoapValue::Binary {
@@ -840,13 +887,16 @@ impl OnServe {
                             }
                         },
                     );
+                    sim.set_span_parent(prev);
                 },
             );
+            sim.set_span_parent(prev);
         };
         if already {
             after_stage(sim, Ok(()));
         } else {
             let ctx_stage = Rc::clone(&ctx);
+            let prev = sim.set_span_parent(ctx.span);
             ctx.onserve.agent.clone().stage_file(
                 sim,
                 ctx.session,
@@ -855,6 +905,7 @@ impl OnServe {
                 ctx_stage.data_len,
                 after_stage,
             );
+            sim.set_span_parent(prev);
         }
     }
 }

@@ -78,6 +78,9 @@ impl Portal {
         F: FnOnce(&mut Sim, Result<PublishedService, UploadError>) + 'static,
     {
         let bytes = request.data.len() as f64 + FORM_OVERHEAD_BYTES;
+        let span = sim.span_begin("portal.upload");
+        sim.span_attr(span, "file", request.file_name.as_str());
+        sim.span_attr(span, "bytes", request.data.len() as u64);
         let portal = Rc::clone(self);
         self.client_path.forward.transfer(sim, bytes, move |sim| {
             // "The CPU utilization is very high due to the reception and
@@ -89,6 +92,7 @@ impl Portal {
             let host = Rc::clone(portal.onserve.host());
             host.compute(sim, cpu, move |sim| {
                 let portal3 = Rc::clone(&portal2);
+                let prev = sim.set_span_parent(span);
                 portal2.onserve.clone().upload_executable(
                     sim,
                     &request.file_name,
@@ -103,10 +107,15 @@ impl Portal {
                             .client_path
                             .backward
                             .transfer(sim, 6.0 * 1024.0, move |sim| {
+                                match &result {
+                                    Ok(_) => sim.span_end(span),
+                                    Err(e) => sim.span_fail(span, &e.to_string()),
+                                }
                                 done(sim, result);
                             });
                     },
                 );
+                sim.set_span_parent(prev);
             });
         });
     }

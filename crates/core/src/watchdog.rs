@@ -35,7 +35,7 @@ impl Watchdog {
     {
         let fired = Rc::new(Cell::new(WatchState::Armed));
         let f2 = Rc::clone(&fired);
-        let timeout_event = sim.schedule(timeout, move |sim| {
+        let timeout_event = sim.schedule_labeled(timeout, "watchdog.timeout", move |sim| {
             if f2.get() == WatchState::Armed {
                 f2.set(WatchState::TimedOut);
                 on_timeout(sim);

@@ -91,9 +91,13 @@ impl OutputPoller {
         F: FnOnce(&mut Sim, Result<PollStats, (PollError, PollStats)>) + 'static,
     {
         let deadline = sim.now() + self.timeout;
+        let span = sim.span_begin("poller.poll_loop");
+        sim.span_attr(span, "site", site.name());
+        sim.span_attr(span, "interval_secs", self.interval.as_secs_f64());
         let state = Rc::new(RefCell::new(LoopState {
             stats: PollStats::default(),
             done: Some(Box::new(done)),
+            span,
         }));
         Self::tick(
             sim,
@@ -121,11 +125,25 @@ impl OutputPoller {
         let agent2 = Rc::clone(&agent);
         let site2 = Rc::clone(&site);
         let handle2 = handle.clone();
+        // each poll nests under the loop span
+        let loop_span = state.borrow().span;
+        let prev = sim.set_span_parent(loop_span);
         agent.poll_output(sim, session, &site, &handle, move |sim, result| {
             let finish = |sim: &mut Sim,
                           state: &Rc<RefCell<LoopState>>,
                           outcome: Result<PollStats, (PollError, PollStats)>| {
-                if let Some(done) = state.borrow_mut().done.take() {
+                let taken = state.borrow_mut().done.take();
+                if let Some(done) = taken {
+                    let (span, stats) = {
+                        let st = state.borrow();
+                        (st.span, st.stats)
+                    };
+                    sim.span_attr(span, "polls", stats.polls);
+                    sim.span_attr(span, "bytes_fetched", stats.bytes_fetched);
+                    match &outcome {
+                        Ok(_) => sim.span_end(span),
+                        Err((e, _)) => sim.span_fail(span, &e.to_string()),
+                    }
                     done(sim, outcome);
                 }
             };
@@ -164,7 +182,7 @@ impl OutputPoller {
                         );
                         return;
                     }
-                    sim.schedule(interval, move |sim| {
+                    sim.schedule_labeled(interval, "poller.tick", move |sim| {
                         Self::tick(
                             sim, agent2, session, site2, handle2, interval, deadline, state,
                         );
@@ -172,6 +190,7 @@ impl OutputPoller {
                 }
             }
         });
+        sim.set_span_parent(prev);
     }
 }
 
@@ -180,6 +199,8 @@ type DoneFn = Box<dyn FnOnce(&mut Sim, Result<PollStats, (PollError, PollStats)>
 struct LoopState {
     stats: PollStats,
     done: Option<DoneFn>,
+    /// The `poller.poll_loop` span every poll nests under.
+    span: simkit::SpanId,
 }
 
 #[cfg(test)]

@@ -90,6 +90,8 @@ struct JobRecord {
     owner_dn: String,
     cores: u32,
     walltime_limit: Duration,
+    /// Telemetry span covering the job from acceptance to terminal state.
+    span: simkit::SpanId,
 }
 
 /// The per-site gatekeeper.
@@ -204,6 +206,7 @@ impl Gatekeeper {
         exec: ExecutionModel,
     ) -> Result<JobHandle, GridError> {
         let now = sim.now();
+        let span = sim.span_begin("gram.job");
         let (jd, job_no, output_file) = {
             let mut gk = this.borrow_mut();
             match gk.validate(proxy, rsl_text, now) {
@@ -219,10 +222,17 @@ impl Gatekeeper {
                 }
                 Err(e) => {
                     gk.rejected += 1;
+                    drop(gk);
+                    sim.counter_add("gram.rejected", 1);
+                    sim.span_fail(span, &e.to_string());
                     return Err(e);
                 }
             }
         };
+        sim.counter_add("gram.submitted", 1);
+        sim.span_attr(span, "site", this.borrow().site.as_str());
+        sim.span_attr(span, "job", job_no);
+        sim.span_attr(span, "cores", jd.count);
         let req = SchedRequest {
             cores: jd.count,
             walltime_limit: jd.max_wall_time,
@@ -243,6 +253,7 @@ impl Gatekeeper {
                 owner_dn: proxy.identity().to_owned(),
                 cores: jd.count,
                 walltime_limit: jd.max_wall_time,
+                span,
             },
         );
         Ok(JobHandle {
@@ -320,50 +331,66 @@ impl Gatekeeper {
             let this2 = Rc::clone(this);
             let host = Rc::clone(&this.borrow().host);
             let name = output_file.to_owned();
-            host.write_disk(sim, output_bytes, move |_| {
+            host.write_disk(sim, output_bytes, move |sim| {
                 let storage = Rc::clone(&this2.borrow().storage);
                 let _ = storage.borrow_mut().put(&name, output_bytes);
-                Self::set_state(&this2, job_no, JobState::Done(outcome));
+                Self::set_state(&this2, sim, job_no, JobState::Done(outcome));
             });
         } else {
-            Self::set_state(this, job_no, JobState::Done(outcome));
+            Self::set_state(this, sim, job_no, JobState::Done(outcome));
         }
     }
 
-    fn set_state(this: &Rc<RefCell<Self>>, job_no: u64, state: JobState) {
-        let mut gk = this.borrow_mut();
-        let (dn, charge) = match gk.jobs.get_mut(&job_no) {
-            None => return,
-            Some(rec) => {
-                let first_final = !matches!(rec.state, JobState::Done(_));
-                rec.state = state;
-                // charge once, on the job's first terminal state; failures
-                // and cancellations are refunded (TeraGrid policy)
-                let billed_secs = match state {
-                    JobState::Done(JobOutcome::Completed) => {
-                        rec.exec.actual_runtime.as_secs_f64()
+    fn set_state(this: &Rc<RefCell<Self>>, sim: &mut Sim, job_no: u64, state: JobState) {
+        let mut span_to_close = None;
+        {
+            let mut gk = this.borrow_mut();
+            let billing = match gk.jobs.get_mut(&job_no) {
+                None => return,
+                Some(rec) => {
+                    let first_final = !matches!(rec.state, JobState::Done(_));
+                    rec.state = state;
+                    if first_final {
+                        span_to_close = Some(rec.span);
                     }
-                    JobState::Done(JobOutcome::WalltimeExceeded) => {
-                        rec.walltime_limit.as_secs_f64()
+                    // charge once, on the job's first terminal state;
+                    // failures and cancellations are refunded (TeraGrid
+                    // policy)
+                    let billed_secs = match state {
+                        JobState::Done(JobOutcome::Completed) => {
+                            rec.exec.actual_runtime.as_secs_f64()
+                        }
+                        JobState::Done(JobOutcome::WalltimeExceeded) => {
+                            rec.walltime_limit.as_secs_f64()
+                        }
+                        _ => 0.0,
+                    };
+                    if first_final && billed_secs > 0.0 {
+                        Some((
+                            rec.owner_dn.clone(),
+                            rec.cores as f64 * billed_secs / 3600.0,
+                        ))
+                    } else {
+                        None
                     }
-                    _ => 0.0,
-                };
-                if first_final && billed_secs > 0.0 {
-                    (
-                        rec.owner_dn.clone(),
-                        rec.cores as f64 * billed_secs / 3600.0,
-                    )
-                } else {
-                    return;
+                }
+            };
+            if let Some((dn, charge)) = billing {
+                if let Some(Account {
+                    allocation: Some(alloc),
+                    ..
+                }) = gk.gridmap.get_mut(&dn)
+                {
+                    alloc.used_core_hours += charge;
                 }
             }
-        };
-        if let Some(Account {
-            allocation: Some(alloc),
-            ..
-        }) = gk.gridmap.get_mut(&dn)
-        {
-            alloc.used_core_hours += charge;
+        }
+        if let (Some(span), JobState::Done(outcome)) = (span_to_close, state) {
+            sim.span_attr(span, "outcome", format!("{outcome:?}"));
+            match outcome {
+                JobOutcome::Completed => sim.span_end(span),
+                other => sim.span_fail(span, &format!("{other:?}")),
+            }
         }
     }
 

@@ -24,6 +24,9 @@
 //!   ([`metrics`]); the paper samples at 3-second intervals and so do we.
 //! * [`Rng`] — a seedable xoshiro256++ generator with the handful of
 //!   distributions the workloads need ([`rng`]).
+//! * [`telemetry`] — structured, zero-overhead-when-disabled tracing:
+//!   causal spans on the virtual clock, counters, duration histograms,
+//!   kernel self-profiling, and Chrome-trace / span-tree exporters.
 //! * [`stats`] and [`report`] — summary statistics and plain-text
 //!   chart/table rendering used by the benchmark harness.
 //!
@@ -47,6 +50,7 @@ pub mod report;
 pub mod rng;
 pub mod server;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use engine::Sim;
@@ -54,4 +58,7 @@ pub use host::{Duplex, Host, HostSpec, Link, GBIT_PER_S, KB, MB};
 pub use metrics::{MetricId, Recorder, Series};
 pub use rng::Rng;
 pub use server::{FifoServer, FlowId, PsServer, ServerConfig, Share};
+pub use telemetry::{
+    AttrValue, DurationHisto, KernelProfile, ServerBusy, SpanId, SpanRecord, Telemetry,
+};
 pub use time::{Duration, SimTime};

@@ -101,6 +101,9 @@ impl SoapContainer {
     where
         F: FnOnce(&mut Sim, Result<(), SoapFault>) + 'static,
     {
+        let span = sim.span_begin("container.deploy");
+        sim.span_attr(span, "service", archive.name.as_str());
+        sim.span_attr(span, "bytes", archive.archive_bytes);
         let host = Rc::clone(&this.borrow().host);
         let this2 = Rc::clone(this);
         let bytes = archive.archive_bytes;
@@ -117,6 +120,7 @@ impl SoapContainer {
                         invocations: 0,
                     },
                 );
+                sim.span_end(span);
                 done(sim, Ok(()));
             });
         });
@@ -151,6 +155,18 @@ impl SoapContainer {
         envelope: Envelope,
         respond: Responder,
     ) {
+        let span = sim.span_begin("soap.dispatch");
+        sim.span_attr(span, "service", envelope.service.as_str());
+        sim.span_attr(span, "operation", envelope.operation.as_str());
+        // single close point: both the fault path and the handler's eventual
+        // response funnel through the wrapped responder
+        let respond: Responder = Box::new(move |sim, r| {
+            match &r {
+                Ok(_) => sim.span_end(span),
+                Err(fault) => sim.span_fail(span, &fault.message),
+            }
+            respond(sim, r);
+        });
         let host = Rc::clone(&this.borrow().host);
         let this2 = Rc::clone(this);
         let cost = parse_cpu_cost(envelope.wire_size());
@@ -173,7 +189,11 @@ impl SoapContainer {
                     }
                 }
             };
+            // anything the handler starts (notably onserve.invoke) nests
+            // under the dispatch span
+            let prev = sim.set_span_parent(span);
             handler.invoke(sim, &envelope.operation, &envelope.args, respond);
+            sim.set_span_parent(prev);
         });
     }
 

@@ -13,4 +13,7 @@ cargo test -q --workspace
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> perf regression check (vs BENCH_kernel.json)"
+cargo run --release -q -p onserve-bench --bin perfbaseline -- --check
+
 echo "CI OK"

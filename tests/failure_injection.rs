@@ -139,6 +139,55 @@ fn watchdog_kills_runaway_invocation() {
 }
 
 #[test]
+fn watchdog_timeout_marks_invocation_span_failed() {
+    // same runaway scenario as above, but with telemetry on: the span
+    // tree must show the invocation root failed with the watchdog's
+    // timeout attributes, while the grid stages still nest under it
+    let mut sim = Sim::new(25);
+    sim.enable_telemetry();
+    let spec = DeploymentSpec {
+        config: OnServeConfig {
+            invocation_timeout: Duration::from_secs(120),
+            poll_timeout: Duration::from_secs(12 * 3600),
+            ..OnServeConfig::default()
+        },
+        ..DeploymentSpec::default()
+    };
+    let d = Deployment::build(&mut sim, &spec);
+    publish(
+        &mut sim,
+        &d,
+        "runaway.exe",
+        ExecutionProfile::quick().lasting(Duration::from_secs(6 * 3600)),
+    );
+    let fault = invoke_expect_fault(&mut sim, &d, "runaway");
+    assert!(fault.message.contains("watchdog"), "{fault}");
+
+    let t = sim.telemetry().expect("telemetry on");
+    let root = *t
+        .spans_named("onserve.invoke")
+        .first()
+        .expect("onserve.invoke span recorded");
+    let rec = t.span(root).expect("root record");
+    assert!(rec.failed, "invocation root must be marked failed");
+    assert!(rec.end.is_some(), "invocation root must be closed");
+    assert_eq!(
+        rec.attr("error").map(ToString::to_string).as_deref(),
+        Some("watchdog_timeout")
+    );
+    assert_eq!(
+        rec.attr("timeout_secs").map(ToString::to_string).as_deref(),
+        Some("120")
+    );
+    assert!(
+        t.spans_named("agent.submit")
+            .into_iter()
+            .any(|id| t.is_descendant(id, root)),
+        "grid stages must nest under the failed invocation root"
+    );
+}
+
+#[test]
 fn poll_timeout_reports_grid_error() {
     let mut sim = Sim::new(26);
     let spec = DeploymentSpec {
