@@ -14,14 +14,13 @@
 //! operation and the makespan delta the paper predicts.
 //!
 //! Run with: `cargo run -p onserve-bench --bin diskio`
-
-use std::cell::Cell;
-use std::rc::Rc;
+//! Add `--trace d3.json` to export a Chrome trace of the double-write
+//! store batch (the measured runs stay untraced).
 
 use blobstore::WriteStrategy;
 use onserve::deployment::DeploymentSpec;
 use onserve::profile::ExecutionProfile;
-use onserve_bench::{par_sweep, Runner};
+use onserve_bench::{par_sweep, trace_arg, write_trace, Runner};
 use simkit::report::TextTable;
 use simkit::MB;
 
@@ -32,7 +31,7 @@ struct StoreRun {
     disk_busy: f64,
 }
 
-fn store_batch(strategy: WriteStrategy, n: u32, seed: u64) -> StoreRun {
+fn store_batch(strategy: WriteStrategy, n: u32, seed: u64, telemetry: bool) -> (StoreRun, Runner) {
     let spec = DeploymentSpec {
         config: onserve::OnServeConfig {
             write_strategy: strategy,
@@ -41,30 +40,18 @@ fn store_batch(strategy: WriteStrategy, n: u32, seed: u64) -> StoreRun {
         ..DeploymentSpec::default()
     };
     let mut r = Runner::new(seed, &spec);
-    let t0 = r.sim.now();
-    let done = Rc::new(Cell::new(0u32));
-    for i in 0..n {
-        let req = r.d.upload_request(
-            &format!("f{i}.exe"),
-            5 * 1024 * 1024,
-            ExecutionProfile::quick(),
-            &[],
-        );
-        let c = done.clone();
-        r.d.portal.upload(&mut r.sim, req, move |_, res| {
-            res.expect("publish");
-            c.set(c.get() + 1);
-        });
+    if telemetry {
+        r.sim.enable_telemetry();
     }
-    r.sim.run();
-    assert_eq!(done.get(), n);
+    let makespan = r.upload_burst("f", n, 5 * 1024 * 1024, ExecutionProfile::quick());
     let rec = r.sim.recorder_ref();
-    StoreRun {
-        makespan: (r.sim.now() - t0).as_secs_f64(),
+    let run = StoreRun {
+        makespan,
         disk_write: rec.total("appliance.disk.write.bytes"),
         disk_read: rec.total("appliance.disk.read.bytes"),
         disk_busy: rec.total("appliance.disk.write.busy") + rec.total("appliance.disk.read.busy"),
-    }
+    };
+    (run, r)
 }
 
 fn main() {
@@ -74,7 +61,9 @@ fn main() {
         (WriteStrategy::DoubleWrite, 400u64),
         (WriteStrategy::Direct, 401u64),
     ];
-    let mut runs = par_sweep(&configs, |_, &(strategy, seed)| store_batch(strategy, n, seed));
+    let mut runs = par_sweep(&configs, |_, &(strategy, seed)| {
+        store_batch(strategy, n, seed, false).0
+    });
     let direct = runs.pop().expect("direct run");
     let dw = runs.pop().expect("double-write run");
     let mut t = TextTable::new(vec![
@@ -135,4 +124,12 @@ fn main() {
         "reads exceed writes on the use path (the paper's \"two reads and\n\
          just one write\"); this path is mandatory, not a flaw."
     );
+
+    if let Some(path) = trace_arg() {
+        // re-run the double-write batch with telemetry on; the measured
+        // runs stay untraced so their numbers are unperturbed
+        eprintln!("\ntracing the double-write store batch...");
+        let (_, r) = store_batch(WriteStrategy::DoubleWrite, n, 400, true);
+        write_trace(&r.sim, &path).expect("write trace");
+    }
 }

@@ -11,13 +11,12 @@
 //! (appliance→Grid WAN), single request and stressed (8 concurrent).
 //!
 //! Run with: `cargo run -p onserve-bench --bin netsweep`
-
-use std::cell::Cell;
-use std::rc::Rc;
+//! Add `--trace d2.json` to export a Chrome trace of the stressed
+//! paper-WAN point (the sweep itself stays untraced).
 
 use onserve::deployment::DeploymentSpec;
 use onserve::profile::ExecutionProfile;
-use onserve_bench::{par_sweep, Runner, KB};
+use onserve_bench::{par_sweep, trace_arg, write_trace, Runner, KB};
 use simkit::report::TextTable;
 use simkit::{Duration, GBIT_PER_S, MB};
 
@@ -27,27 +26,10 @@ fn upload_scenario(lan_bw: f64, concurrent: u32, seed: u64) -> f64 {
         ..DeploymentSpec::default()
     };
     let mut r = Runner::new(seed, &spec);
-    let t0 = r.sim.now();
-    let done = Rc::new(Cell::new(0u32));
-    for i in 0..concurrent {
-        let req = r.d.upload_request(
-            &format!("n{i}.exe"),
-            5 * 1024 * 1024,
-            ExecutionProfile::quick(),
-            &[],
-        );
-        let c = done.clone();
-        r.d.portal.upload(&mut r.sim, req, move |_, res| {
-            res.expect("publish");
-            c.set(c.get() + 1);
-        });
-    }
-    r.sim.run();
-    assert_eq!(done.get(), concurrent);
-    (r.sim.now() - t0).as_secs_f64()
+    r.upload_burst("n", concurrent, 5 * 1024 * 1024, ExecutionProfile::quick())
 }
 
-fn service_use_scenario(wan_bw: f64, concurrent: u32, seed: u64) -> f64 {
+fn service_use_scenario(wan_bw: f64, concurrent: u32, seed: u64, telemetry: bool) -> (f64, Runner) {
     let spec = DeploymentSpec {
         wan_bandwidth_override: Some(wan_bw),
         config: onserve::OnServeConfig {
@@ -57,6 +39,9 @@ fn service_use_scenario(wan_bw: f64, concurrent: u32, seed: u64) -> f64 {
         ..DeploymentSpec::default()
     };
     let mut r = Runner::new(seed, &spec);
+    if telemetry {
+        r.sim.enable_telemetry();
+    }
     r.publish(
         "sweep.exe",
         2 * 1024 * 1024,
@@ -65,18 +50,8 @@ fn service_use_scenario(wan_bw: f64, concurrent: u32, seed: u64) -> f64 {
             .producing(64.0 * KB),
         &[],
     );
-    let t0 = r.sim.now();
-    let done = Rc::new(Cell::new(0u32));
-    for _ in 0..concurrent {
-        let c = done.clone();
-        r.d.invoke(&mut r.sim, "sweep", &[], move |_, res| {
-            res.expect("invoke");
-            c.set(c.get() + 1);
-        });
-    }
-    r.sim.run();
-    assert_eq!(done.get(), concurrent);
-    (r.sim.now() - t0).as_secs_f64()
+    let makespan = r.invoke_burst("sweep", concurrent);
+    (makespan, r)
 }
 
 struct Row {
@@ -106,8 +81,8 @@ fn main() {
     });
     let wan_rows = par_sweep(&wan_points, |i, &(label, bw)| Row {
         label: label.to_owned(),
-        single: service_use_scenario(bw, 1, 320 + i as u64),
-        stressed: service_use_scenario(bw, 8, 330 + i as u64),
+        single: service_use_scenario(bw, 1, 320 + i as u64, false).0,
+        stressed: service_use_scenario(bw, 8, 330 + i as u64, false).0,
     });
 
     let render = |title: &str, rows: Vec<Row>| {
@@ -136,4 +111,12 @@ fn main() {
          use cases, and concurrency amplifies it — latency should fall\n\
          steeply with bandwidth until another resource takes over."
     );
+
+    if let Some(path) = trace_arg() {
+        // re-run the stressed paper-WAN point with telemetry on; the sweep
+        // itself stays untraced so its numbers are unperturbed
+        eprintln!("\ntracing 8 concurrent service uses over the 85 KB/s WAN...");
+        let (_, r) = service_use_scenario(85.0 * KB, 8, 331, true);
+        write_trace(&r.sim, &path).expect("write trace");
+    }
 }

@@ -11,13 +11,12 @@
 //! independent simulation each).
 //!
 //! Run with: `cargo run -p onserve-bench --bin scalability`
-
-use std::cell::Cell;
-use std::rc::Rc;
+//! Add `--trace d1.json` to export a Chrome trace of the 8-invocation
+//! point (the sweep itself stays untraced).
 
 use onserve::deployment::DeploymentSpec;
 use onserve::profile::ExecutionProfile;
-use onserve_bench::{par_sweep, Runner, KB};
+use onserve_bench::{par_sweep, trace_arg, write_trace, Runner, KB};
 use simkit::report::TextTable;
 use simkit::{Duration, MB};
 
@@ -31,27 +30,11 @@ struct UploadPoint {
 
 fn upload_point(n: u32) -> UploadPoint {
     let mut r = Runner::new(100 + n as u64, &DeploymentSpec::default());
-    let t0 = r.sim.now();
-    let done = Rc::new(Cell::new(0u32));
-    for i in 0..n {
-        let req = r.d.upload_request(
-            &format!("u{i}.exe"),
-            10 * 1024 * 1024,
-            ExecutionProfile::quick(),
-            &[],
-        );
-        let c = done.clone();
-        r.d.portal.upload(&mut r.sim, req, move |_, res| {
-            res.expect("publish");
-            c.set(c.get() + 1);
-        });
-    }
-    r.sim.run();
-    assert_eq!(done.get(), n);
+    let makespan = r.upload_burst("u", n, 10 * 1024 * 1024, ExecutionProfile::quick());
     let rec = r.sim.recorder_ref();
     UploadPoint {
         n,
-        makespan: (r.sim.now() - t0).as_secs_f64(),
+        makespan,
         cpu_busy: rec.total("appliance.cpu.busy"),
         disk_busy: rec.total("appliance.disk.write.busy") + rec.total("appliance.disk.read.busy"),
         lan_busy: rec.total("lan.fwd.busy"),
@@ -66,7 +49,7 @@ struct InvokePoint {
     cpu_busy: f64,
 }
 
-fn invoke_point(n: u32) -> InvokePoint {
+fn invoke_point(n: u32, telemetry: bool) -> (InvokePoint, Runner) {
     let spec = DeploymentSpec {
         config: onserve::OnServeConfig {
             // pin one site so the WAN contention is visible
@@ -76,6 +59,9 @@ fn invoke_point(n: u32) -> InvokePoint {
         ..DeploymentSpec::default()
     };
     let mut r = Runner::new(200 + n as u64, &spec);
+    if telemetry {
+        r.sim.enable_telemetry();
+    }
     r.publish(
         "tool.exe",
         2 * 1024 * 1024,
@@ -84,32 +70,23 @@ fn invoke_point(n: u32) -> InvokePoint {
             .producing(16.0 * KB),
         &[],
     );
-    let t0 = r.sim.now();
-    let done = Rc::new(Cell::new(0u32));
-    for _ in 0..n {
-        let c = done.clone();
-        r.d.invoke(&mut r.sim, "tool", &[], move |_, res| {
-            res.expect("invoke");
-            c.set(c.get() + 1);
-        });
-    }
-    r.sim.run();
-    assert_eq!(done.get(), n);
+    let makespan = r.invoke_burst("tool", n);
     let rec = r.sim.recorder_ref();
-    InvokePoint {
+    let point = InvokePoint {
         n,
-        makespan: (r.sim.now() - t0).as_secs_f64(),
+        makespan,
         wan_busy_max: rec.total("wan.tacc.up.busy"),
         disk_busy: rec.total("appliance.disk.write.busy") + rec.total("appliance.disk.read.busy"),
         cpu_busy: rec.total("appliance.cpu.busy"),
-    }
+    };
+    (point, r)
 }
 
 fn main() {
     let counts: Vec<u32> = vec![1, 2, 4, 8, 16, 32, 64];
 
     // run sweep points on parallel host threads — each owns its world
-    let points = par_sweep(&counts, |_, &n| (upload_point(n), invoke_point(n)));
+    let points = par_sweep(&counts, |_, &n| (upload_point(n), invoke_point(n, false).0));
     let (up, inv): (Vec<UploadPoint>, Vec<InvokePoint>) = points.into_iter().unzip();
 
     println!("==== D-1 scalability: simultaneous portal uploads (10 MB each, 1 Gbit/s LAN) ====\n");
@@ -163,4 +140,12 @@ fn main() {
          stay nearly idle: the network is the scaling wall on the Grid side."
     );
     let _ = MB;
+
+    if let Some(path) = trace_arg() {
+        // re-run one representative point with telemetry on; the sweep
+        // itself stays untraced so its numbers are unperturbed
+        eprintln!("\ntracing the 8-invocation point...");
+        let (_, r) = invoke_point(8, true);
+        write_trace(&r.sim, &path).expect("write trace");
+    }
 }

@@ -9,6 +9,8 @@
 //! the same series the paper plots (ASCII charts + row tables) so
 //! EXPERIMENTS.md can quote exact numbers.
 
+pub mod fleetscale;
+
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
@@ -60,6 +62,45 @@ impl Runner {
         self.sim.run();
         let svc = out.borrow_mut().take().expect("published");
         svc
+    }
+
+    /// Fire `n` concurrent portal uploads (`{prefix}{i}.exe`, `len` bytes
+    /// each, all sharing `profile`), drain the simulation, and return the
+    /// batch makespan in seconds. Panics if any upload fails or goes
+    /// unanswered — sweep points measure saturation, not error paths.
+    pub fn upload_burst(&mut self, prefix: &str, n: u32, len: usize, profile: ExecutionProfile) -> f64 {
+        let t0 = self.sim.now();
+        let done = Rc::new(Cell::new(0u32));
+        for i in 0..n {
+            let req = self
+                .d
+                .upload_request(&format!("{prefix}{i}.exe"), len, profile, &[]);
+            let c = done.clone();
+            self.d.portal.upload(&mut self.sim, req, move |_, res| {
+                res.expect("publish");
+                c.set(c.get() + 1);
+            });
+        }
+        self.sim.run();
+        assert_eq!(done.get(), n, "upload burst lost requests");
+        (self.sim.now() - t0).as_secs_f64()
+    }
+
+    /// Fire `n` concurrent no-argument invocations of `service`, drain,
+    /// and return the batch makespan in seconds. Panics on any fault.
+    pub fn invoke_burst(&mut self, service: &str, n: u32) -> f64 {
+        let t0 = self.sim.now();
+        let done = Rc::new(Cell::new(0u32));
+        for _ in 0..n {
+            let c = done.clone();
+            self.d.invoke(&mut self.sim, service, &[], move |_, res| {
+                res.expect("invoke");
+                c.set(c.get() + 1);
+            });
+        }
+        self.sim.run();
+        assert_eq!(done.get(), n, "invoke burst lost requests");
+        (self.sim.now() - t0).as_secs_f64()
     }
 
     /// Invoke and drain; returns `(result, completion_instant)`.

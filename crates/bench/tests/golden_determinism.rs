@@ -197,6 +197,35 @@ fn fig8_curves(interval: Duration) -> Vec<Curve> {
     curves
 }
 
+/// The fleet-scaling sweep must be byte-stable per seed, and its headline
+/// result — replicas only scale when storage replicates with them — must
+/// hold, not just its bytes.
+#[test]
+fn fleetscale_sweep_matches_golden() {
+    use onserve_bench::fleetscale;
+    let points = fleetscale::sweep();
+    assert_eq!(
+        fleetscale::csv(&points),
+        golden("fleetscale.csv"),
+        "fleetscale CSV drifted"
+    );
+    let tp = |topology: &str, replicas: usize| {
+        points
+            .iter()
+            .find(|p| p.topology.label() == topology && p.replicas == replicas)
+            .expect("sweep point present")
+            .throughput_rps
+    };
+    assert!(
+        tp("replicated", 4) >= 2.0 * tp("replicated", 1),
+        "replicated storage must scale ≥2x from 1 to 4 replicas"
+    );
+    assert!(
+        tp("shared", 4) <= 1.3 * tp("shared", 1),
+        "shared storage must stay ~flat as replicas are added"
+    );
+}
+
 #[test]
 fn fig8_curves_match_golden_at_both_sampling_rates() {
     let fine = fig8_curves(Duration::from_millis(200));

@@ -130,6 +130,26 @@ impl Deployment {
         spec: &DeploymentSpec,
         appliance: Rc<Host>,
     ) -> Deployment {
+        let db = TimedDb::new(
+            Rc::new(RefCell::new(BlobDb::new())),
+            Rc::clone(&appliance),
+            spec.config.write_strategy,
+        );
+        Self::build_with_host_and_db(sim, spec, appliance, db)
+    }
+
+    /// Build the system around an existing appliance host *and* an
+    /// externally-owned executable database. A fleet uses this to choose
+    /// the storage topology: a [`TimedDb`] bound to the appliance host is
+    /// replica-local storage, while one bound to a separate shared storage
+    /// host routes every replica's database I/O through the same disk (the
+    /// NAS/SAN topology §VIII-D warns about).
+    pub fn build_with_host_and_db(
+        sim: &mut Sim,
+        spec: &DeploymentSpec,
+        appliance: Rc<Host>,
+        db: Rc<TimedDb>,
+    ) -> Deployment {
         let client = Host::new(&HostSpec::commodity(&spec.client_name));
 
         // the Grid + the uploader's enrolment + MyProxy
@@ -174,11 +194,6 @@ impl Deployment {
 
         let container = SoapContainer::new(Rc::clone(&appliance));
         let registry = Rc::new(RefCell::new(wsstack::UddiRegistry::new()));
-        let db = TimedDb::new(
-            Rc::new(RefCell::new(BlobDb::new())),
-            Rc::clone(&appliance),
-            spec.config.write_strategy,
-        );
         let onserve = OnServe::new(
             Rc::clone(&appliance),
             Rc::clone(&container),

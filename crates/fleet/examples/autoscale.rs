@@ -1,0 +1,112 @@
+//! Autoscaling demo: a bursty open-loop workload against a fleet that
+//! starts at one replica, with the control loop ordering and draining
+//! capacity as the bursts come and go.
+//!
+//! Run with: `cargo run -p onserve-fleet --example autoscale`
+
+use std::rc::Rc;
+
+use fleet::{
+    start_open_loop, ArrivalProcess, Autoscaler, AutoscalerConfig, Fleet, FleetSpec, Mix,
+    ScaleDecision, SubmitFn,
+};
+use onserve::profile::ExecutionProfile;
+use simkit::{Duration, Sim, MB};
+use vappliance::ApplianceImage;
+
+fn main() {
+    let mut sim = Sim::new(42);
+    sim.enable_telemetry();
+
+    let image = ApplianceImage {
+        name: "onserve".into(),
+        bytes: 600.0 * MB,
+        boot_services: vec!["mysqld".into(), "tomcat".into(), "juddi".into()],
+        recipe_fingerprint: 1,
+    };
+    let mut spec = FleetSpec::with_image(image);
+    spec.initial_replicas = 1;
+    spec.base.wan_bandwidth_override = Some(10.0 * MB);
+    let fleet = Fleet::new(&mut sim, spec);
+    sim.run(); // cold-start the first appliance
+    println!(
+        "first replica running at t={:.0}s",
+        sim.now().as_secs_f64()
+    );
+
+    // small executable, fat result: keeps per-invoke work on the WAN and
+    // grid rather than the (byte-accurate, hence wall-clock-expensive)
+    // database decompression path
+    fleet.publish(
+        &mut sim,
+        "app.exe",
+        64 * 1024,
+        ExecutionProfile::quick()
+            .lasting(Duration::from_secs(5))
+            .producing(4.0 * MB),
+        |_| {},
+    );
+    sim.run();
+
+    let horizon = sim.now() + Duration::from_secs(3600);
+    let scaler = Autoscaler::install(
+        &mut sim,
+        &fleet,
+        AutoscalerConfig {
+            scale_up_load: 4.0,
+            scale_down_load: 0.5,
+            max_replicas: 4,
+            ..AutoscalerConfig::default()
+        },
+        horizon,
+    );
+
+    let dispatcher = Rc::clone(fleet.dispatcher());
+    let sink: Rc<SubmitFn> = Rc::new(move |sim, req, done| dispatcher.submit(sim, req, done));
+    let stats = start_open_loop(
+        &mut sim,
+        ArrivalProcess::Bursty {
+            rate_on: 3.0,
+            mean_on: Duration::from_secs(300),
+            mean_off: Duration::from_secs(600),
+        },
+        Mix::invoke_only(&["app"]),
+        sink,
+        horizon,
+    );
+    sim.run();
+
+    println!("\nscale actions:");
+    for a in scaler.actions() {
+        match a.decision {
+            ScaleDecision::Up | ScaleDecision::Down => println!(
+                "  t={:>6.0}s {:?} (load {:.1} across {} replicas)",
+                a.at.as_secs_f64(),
+                a.decision,
+                a.load,
+                a.effective
+            ),
+            _ => {}
+        }
+    }
+    let c = fleet.dispatcher().counters();
+    println!(
+        "\nissued {} | completed {} | faulted {} | shed {}",
+        stats.issued(),
+        stats.completed(),
+        stats.faulted(),
+        c.shed
+    );
+    println!(
+        "replicas booted {} | retired {} | active at end {}",
+        fleet.booted_total(),
+        fleet.retired_total(),
+        fleet.active_replicas()
+    );
+    println!(
+        "latency p50 {:.1}s p95 {:.1}s p99 {:.1}s",
+        stats.latency_percentile(50.0),
+        stats.latency_percentile(95.0),
+        stats.latency_percentile(99.0)
+    );
+}

@@ -1,0 +1,283 @@
+//! The control loop: sample load on the virtual clock, scale with
+//! cooldown and boot-latency awareness.
+//!
+//! The signal is in-flight requests per *effective* replica — active plus
+//! still-booting — so a scale-up that is still paying its ~1-minute
+//! appliance boot is not re-ordered every tick. A cooldown between actions
+//! damps oscillation on top of that. The loop never drops the fleet below
+//! one replica, no matter how the thresholds are configured.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use simkit::{Duration, Sim, SimTime};
+
+use crate::fleet::Fleet;
+
+/// Control-loop parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AutoscalerConfig {
+    /// Sampling period.
+    pub interval: Duration,
+    /// Minimum gap between two scale actions. Should exceed the appliance
+    /// boot time, or the loop will order capacity it cannot see yet.
+    pub cooldown: Duration,
+    /// Scale up when in-flight per effective replica exceeds this.
+    pub scale_up_load: f64,
+    /// Scale down when in-flight per effective replica falls below this.
+    pub scale_down_load: f64,
+    /// Floor (clamped to at least 1).
+    pub min_replicas: usize,
+    /// Ceiling.
+    pub max_replicas: usize,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            interval: Duration::from_secs(15),
+            cooldown: Duration::from_secs(90),
+            scale_up_load: 8.0,
+            scale_down_load: 1.0,
+            min_replicas: 1,
+            max_replicas: 8,
+        }
+    }
+}
+
+/// One recorded decision, for tests and reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Ordered one more replica.
+    Up,
+    /// Started draining one replica.
+    Down,
+    /// Thresholds not crossed.
+    Hold,
+    /// Threshold crossed but inside the cooldown window.
+    Cooldown,
+}
+
+/// A timestamped decision.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleAction {
+    /// When the decision was taken.
+    pub at: SimTime,
+    /// What was decided.
+    pub decision: ScaleDecision,
+    /// Effective replicas at decision time (before the action).
+    pub effective: usize,
+    /// The load signal at decision time.
+    pub load: f64,
+}
+
+/// The periodic controller; create with [`Autoscaler::install`].
+pub struct Autoscaler {
+    fleet: Rc<Fleet>,
+    cfg: AutoscalerConfig,
+    last_action: Cell<Option<SimTime>>,
+    actions: RefCell<Vec<ScaleAction>>,
+    stopped: Cell<bool>,
+}
+
+impl Autoscaler {
+    /// Start ticking every `cfg.interval` until `until` (virtual time).
+    pub fn install(
+        sim: &mut Sim,
+        fleet: &Rc<Fleet>,
+        cfg: AutoscalerConfig,
+        until: SimTime,
+    ) -> Rc<Autoscaler> {
+        let scaler = Rc::new(Autoscaler {
+            fleet: Rc::clone(fleet),
+            cfg,
+            last_action: Cell::new(None),
+            actions: RefCell::new(Vec::new()),
+            stopped: Cell::new(false),
+        });
+        Autoscaler::arm(sim, Rc::clone(&scaler), until);
+        scaler
+    }
+
+    /// Stop the loop (takes effect at the next tick).
+    pub fn stop(&self) {
+        self.stopped.set(true);
+    }
+
+    /// Every decision taken so far, in order.
+    pub fn actions(&self) -> Vec<ScaleAction> {
+        self.actions.borrow().clone()
+    }
+
+    fn arm(sim: &mut Sim, scaler: Rc<Autoscaler>, until: SimTime) {
+        if sim.now() + scaler.cfg.interval > until {
+            return;
+        }
+        let interval = scaler.cfg.interval;
+        sim.schedule(interval, move |sim| {
+            if scaler.stopped.get() {
+                return;
+            }
+            scaler.tick(sim);
+            Autoscaler::arm(sim, Rc::clone(&scaler), until);
+        });
+    }
+
+    fn tick(self: &Rc<Self>, sim: &mut Sim) {
+        let span = sim.span_begin("autoscaler.decide");
+        let effective = self.fleet.effective_replicas();
+        let in_flight = self.fleet.dispatcher().in_flight();
+        let load = in_flight as f64 / effective.max(1) as f64;
+        sim.span_attr(span, "in_flight", in_flight as u64);
+        sim.span_attr(span, "effective_replicas", effective as u64);
+        sim.span_attr(span, "load", load);
+        let min = self.cfg.min_replicas.max(1);
+        let in_cooldown = self
+            .last_action
+            .get()
+            .is_some_and(|t| sim.now() < t + self.cfg.cooldown);
+        let wants_up = load > self.cfg.scale_up_load && effective < self.cfg.max_replicas;
+        let wants_down = load < self.cfg.scale_down_load && effective > min;
+        let decision = if (wants_up || wants_down) && in_cooldown {
+            ScaleDecision::Cooldown
+        } else if wants_up {
+            self.fleet.scale_up(sim);
+            self.last_action.set(Some(sim.now()));
+            sim.counter_add("autoscaler.scale_up", 1);
+            ScaleDecision::Up
+        } else if wants_down {
+            if self.fleet.scale_down(sim) {
+                self.last_action.set(Some(sim.now()));
+                sim.counter_add("autoscaler.scale_down", 1);
+                ScaleDecision::Down
+            } else {
+                ScaleDecision::Hold
+            }
+        } else {
+            ScaleDecision::Hold
+        };
+        sim.span_attr(
+            span,
+            "decision",
+            match decision {
+                ScaleDecision::Up => "up",
+                ScaleDecision::Down => "down",
+                ScaleDecision::Hold => "hold",
+                ScaleDecision::Cooldown => "cooldown",
+            },
+        );
+        sim.span_end(span);
+        self.actions.borrow_mut().push(ScaleAction {
+            at: sim.now(),
+            decision,
+            effective,
+            load,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::Request;
+    use crate::fleet::{FleetSpec, StorageTopology};
+    use onserve::profile::ExecutionProfile;
+    use vappliance::ApplianceImage;
+
+    fn fleet_of(sim: &mut Sim, replicas: usize) -> Rc<Fleet> {
+        let image = ApplianceImage {
+            name: "onserve".into(),
+            bytes: 600.0 * simkit::MB,
+            boot_services: vec!["mysqld".into(), "tomcat".into(), "juddi".into()],
+            recipe_fingerprint: 1,
+        };
+        let mut spec = FleetSpec::with_image(image);
+        spec.topology = StorageTopology::Replicated;
+        spec.initial_replicas = replicas;
+        Fleet::new(sim, spec)
+    }
+
+    #[test]
+    fn never_scales_below_one_replica() {
+        let mut sim = Sim::new(21);
+        let fleet = fleet_of(&mut sim, 2);
+        sim.run();
+        // idle fleet, aggressive scale-down, no cooldown, min_replicas=0
+        // (which the controller must clamp to 1)
+        let until = sim.now() + Duration::from_secs(900);
+        let scaler = Autoscaler::install(
+            &mut sim,
+            &fleet,
+            AutoscalerConfig {
+                interval: Duration::from_secs(15),
+                cooldown: Duration::from_secs(0),
+                scale_down_load: 0.5,
+                min_replicas: 0,
+                ..AutoscalerConfig::default()
+            },
+            until,
+        );
+        sim.run();
+        assert_eq!(fleet.active_replicas(), 1);
+        let downs = scaler
+            .actions()
+            .iter()
+            .filter(|a| a.decision == ScaleDecision::Down)
+            .count();
+        assert_eq!(downs, 1, "exactly one replica may be retired");
+    }
+
+    #[test]
+    fn cooldown_spaces_scale_actions() {
+        let mut sim = Sim::new(22);
+        let fleet = fleet_of(&mut sim, 1);
+        sim.run();
+        fleet.publish(
+            &mut sim,
+            "slow.exe",
+            1024 * 1024,
+            ExecutionProfile::quick().lasting(Duration::from_secs(3600)),
+            |_| {},
+        );
+        sim.run();
+        // pin 40 requests in flight for the whole test: load stays >> 8
+        for _ in 0..40 {
+            fleet.dispatcher().clone().submit(
+                &mut sim,
+                Request::Invoke {
+                    service: "slow".into(),
+                    args: Vec::new(),
+                },
+                Box::new(|_, _| {}),
+            );
+        }
+        let cooldown = Duration::from_secs(90);
+        let until = sim.now() + Duration::from_secs(400);
+        let scaler = Autoscaler::install(
+            &mut sim,
+            &fleet,
+            AutoscalerConfig {
+                cooldown,
+                ..AutoscalerConfig::default()
+            },
+            until,
+        );
+        sim.run_until(until + Duration::from_secs(1));
+        let actions = scaler.actions();
+        let ups: Vec<SimTime> = actions
+            .iter()
+            .filter(|a| a.decision == ScaleDecision::Up)
+            .map(|a| a.at)
+            .collect();
+        assert!(ups.len() >= 2, "sustained overload keeps ordering capacity");
+        for pair in ups.windows(2) {
+            assert!(pair[1] - pair[0] >= cooldown, "actions violate cooldown");
+        }
+        assert!(
+            actions
+                .iter()
+                .any(|a| a.decision == ScaleDecision::Cooldown),
+            "overload inside the window is deferred, not acted on"
+        );
+    }
+}

@@ -1,0 +1,702 @@
+//! The fleet front end: one published endpoint fanning out to N replicas.
+//!
+//! The dispatcher owns the request path the paper never built: it holds the
+//! published UDDI binding, admits requests under a bounded in-flight limit
+//! (shedding overload as a SOAP `Server` fault, the way a SOAP intermediary
+//! would), and routes each admitted invocation to one replica under a
+//! pluggable [`Policy`]. Uploads are *broadcast* — every replica must hold
+//! the executable before the generated service can be served from any of
+//! them.
+//!
+//! Backends are abstract ([`Backend`]) so the routing and conservation
+//! logic is testable without booting appliances; the production backend
+//! wrapping a replica's [`onserve::Deployment`] lives in [`crate::fleet`].
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use onserve::profile::ExecutionProfile;
+use simkit::{Sim, SpanId};
+use wsstack::{SoapFault, SoapValue};
+
+/// One front-door request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Provision a new executable on every replica (portal upload).
+    Upload {
+        /// Executable file name (must be fleet-unique; replica databases
+        /// reject duplicates).
+        file_name: String,
+        /// Synthetic payload size in bytes.
+        len: usize,
+        /// What the executable does when invoked.
+        profile: ExecutionProfile,
+    },
+    /// Call a published service on one replica.
+    Invoke {
+        /// Service name (the executable's base name).
+        service: String,
+        /// SOAP arguments.
+        args: Vec<(String, SoapValue)>,
+    },
+}
+
+/// Completion callback: called exactly once per submitted request.
+pub type Responder = Box<dyn FnOnce(&mut Sim, Result<SoapValue, SoapFault>)>;
+
+/// Something that can serve front-door requests — a replica, or a test
+/// double.
+pub trait Backend {
+    /// Stable replica name (the metric prefix of its appliance host).
+    fn name(&self) -> &str;
+    /// Serve one request, calling `done` exactly once (now or later).
+    fn serve(&self, sim: &mut Sim, req: Request, done: Responder);
+}
+
+/// Replica-selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Cycle through live replicas in order.
+    RoundRobin,
+    /// Pick the replica with the fewest outstanding requests (first wins
+    /// ties).
+    LeastOutstanding,
+    /// Pick the replica whose appliance CPU has accumulated the least busy
+    /// time, read from [`Sim::profile`]'s server-busy rollup (first wins
+    /// ties). Spreads load by *measured* work, not request counts.
+    UtilizationWeighted,
+}
+
+impl Policy {
+    /// All policies, for sweeps and property tests.
+    pub const ALL: [Policy; 3] = [
+        Policy::RoundRobin,
+        Policy::LeastOutstanding,
+        Policy::UtilizationWeighted,
+    ];
+
+    /// Short label for tables and span attributes.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::RoundRobin => "round-robin",
+            Policy::LeastOutstanding => "least-outstanding",
+            Policy::UtilizationWeighted => "utilization-weighted",
+        }
+    }
+}
+
+/// Dispatcher parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DispatcherConfig {
+    /// Replica-selection policy.
+    pub policy: Policy,
+    /// Admission limit: requests in flight across the whole fleet before
+    /// new arrivals are shed.
+    pub max_in_flight: usize,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        DispatcherConfig {
+            policy: Policy::LeastOutstanding,
+            max_in_flight: 64,
+        }
+    }
+}
+
+/// Conservation ledger: `accepted == completed + faulted` once the
+/// simulation drains, and `accepted + shed` equals every request ever
+/// submitted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DispatchCounters {
+    /// Requests admitted past the in-flight limit.
+    pub accepted: u64,
+    /// Admitted requests that completed successfully.
+    pub completed: u64,
+    /// Admitted requests that came back as a SOAP fault.
+    pub faulted: u64,
+    /// Requests refused at the door (admission limit or no replicas).
+    pub shed: u64,
+    /// Admitted requests that had to wait behind another request already
+    /// outstanding on their chosen replica.
+    pub queued: u64,
+}
+
+struct Slot {
+    backend: Rc<dyn Backend>,
+    outstanding: usize,
+    draining: bool,
+}
+
+type DrainHook = Box<dyn Fn(&mut Sim, &str)>;
+type UploadHook = Box<dyn Fn(&mut Sim, &Request)>;
+
+/// The front-end request router.
+pub struct Dispatcher {
+    cfg: DispatcherConfig,
+    slots: RefCell<Vec<Slot>>,
+    rr_cursor: Cell<usize>,
+    in_flight: Cell<usize>,
+    counters: RefCell<DispatchCounters>,
+    drain_hook: RefCell<Option<DrainHook>>,
+    upload_hook: RefCell<Option<UploadHook>>,
+}
+
+impl Dispatcher {
+    /// New dispatcher with no backends yet.
+    pub fn new(cfg: DispatcherConfig) -> Rc<Dispatcher> {
+        Rc::new(Dispatcher {
+            cfg,
+            slots: RefCell::new(Vec::new()),
+            rr_cursor: Cell::new(0),
+            in_flight: Cell::new(0),
+            counters: RefCell::new(DispatchCounters::default()),
+            drain_hook: RefCell::new(None),
+            upload_hook: RefCell::new(None),
+        })
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> Policy {
+        self.cfg.policy
+    }
+
+    /// Put a backend into rotation.
+    pub fn add_backend(&self, backend: Rc<dyn Backend>) {
+        self.slots.borrow_mut().push(Slot {
+            backend,
+            outstanding: 0,
+            draining: false,
+        });
+    }
+
+    /// Take `name` out of rotation. New requests stop routing to it
+    /// immediately; once its outstanding requests finish, the slot is
+    /// dropped and the drain hook fires. Returns `false` if no live
+    /// backend has that name.
+    pub fn remove_backend(&self, sim: &mut Sim, name: &str) -> bool {
+        let idle = {
+            let mut slots = self.slots.borrow_mut();
+            let Some(slot) = slots
+                .iter_mut()
+                .find(|s| !s.draining && s.backend.name() == name)
+            else {
+                return false;
+            };
+            slot.draining = true;
+            slot.outstanding == 0
+        };
+        if idle {
+            self.retire(sim, name);
+        }
+        true
+    }
+
+    /// Called once per drained (removed + idle) backend, with its name.
+    pub fn set_drain_hook(&self, f: impl Fn(&mut Sim, &str) + 'static) {
+        *self.drain_hook.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Called once per *accepted* upload broadcast, before any backend
+    /// sees it — the fleet uses this to catalog the executable for
+    /// replicas that boot later.
+    pub fn set_upload_hook(&self, f: impl Fn(&mut Sim, &Request) + 'static) {
+        *self.upload_hook.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Backends still in rotation.
+    pub fn live_backends(&self) -> usize {
+        self.slots.borrow().iter().filter(|s| !s.draining).count()
+    }
+
+    /// Requests currently admitted and not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.get()
+    }
+
+    /// The conservation ledger.
+    pub fn counters(&self) -> DispatchCounters {
+        *self.counters.borrow()
+    }
+
+    /// Admit and route one request; `done` is called exactly once whether
+    /// the request is served, faulted, or shed at the door.
+    pub fn submit(self: &Rc<Self>, sim: &mut Sim, req: Request, done: Responder) {
+        let span = sim.span_begin("dispatcher.dispatch");
+        sim.span_attr(span, "policy", self.cfg.policy.label());
+        if self.in_flight.get() >= self.cfg.max_in_flight {
+            self.shed(sim, span, "admission limit reached", done);
+            return;
+        }
+        match req {
+            Request::Invoke { .. } => self.dispatch_one(sim, span, req, done),
+            Request::Upload { .. } => self.broadcast(sim, span, req, done),
+        }
+    }
+
+    fn shed(&self, sim: &mut Sim, span: SpanId, why: &str, done: Responder) {
+        self.counters.borrow_mut().shed += 1;
+        sim.counter_add("dispatcher.shed", 1);
+        sim.span_attr(span, "outcome", "shed");
+        sim.span_fail(span, why);
+        done(sim, Err(SoapFault::server(&format!("dispatcher: {why}"))));
+    }
+
+    /// Route an invocation to one replica by policy.
+    fn dispatch_one(self: &Rc<Self>, sim: &mut Sim, span: SpanId, req: Request, done: Responder) {
+        let Some(pick) = self.pick(sim) else {
+            self.shed(sim, span, "no replicas in rotation", done);
+            return;
+        };
+        let (backend, queued) = {
+            let mut slots = self.slots.borrow_mut();
+            let slot = &mut slots[pick];
+            slot.outstanding += 1;
+            let queued = slot.outstanding > 1;
+            let mut c = self.counters.borrow_mut();
+            c.accepted += 1;
+            if queued {
+                c.queued += 1;
+            }
+            (Rc::clone(&slot.backend), queued)
+        };
+        self.in_flight.set(self.in_flight.get() + 1);
+        sim.counter_add("dispatcher.accepted", 1);
+        if queued {
+            sim.counter_add("dispatcher.queued", 1);
+        }
+        sim.span_attr(span, "replica", backend.name().to_owned());
+        sim.span_attr(span, "in_flight", self.in_flight.get() as u64);
+        let this = Rc::clone(self);
+        let name = backend.name().to_owned();
+        // parent replica-internal spans under the dispatch span
+        let prev = sim.set_span_parent(span);
+        backend.serve(
+            sim,
+            req,
+            Box::new(move |sim, res| {
+                this.settle(sim, &name, span, res.is_ok());
+                done(sim, res);
+            }),
+        );
+        sim.set_span_parent(prev);
+    }
+
+    /// Fan an upload out to every live replica; the front-door request
+    /// completes when the slowest replica has it, and faults if any
+    /// replica faulted.
+    fn broadcast(self: &Rc<Self>, sim: &mut Sim, span: SpanId, req: Request, done: Responder) {
+        let targets: Vec<(usize, Rc<dyn Backend>)> = {
+            let mut slots = self.slots.borrow_mut();
+            slots
+                .iter_mut()
+                .enumerate()
+                .filter(|(_, s)| !s.draining)
+                .map(|(i, s)| {
+                    s.outstanding += 1;
+                    (i, Rc::clone(&s.backend))
+                })
+                .collect()
+        };
+        if targets.is_empty() {
+            // nothing incremented: filter matched no slot
+            self.shed(sim, span, "no replicas in rotation", done);
+            return;
+        }
+        self.counters.borrow_mut().accepted += 1;
+        self.in_flight.set(self.in_flight.get() + 1);
+        sim.counter_add("dispatcher.accepted", 1);
+        sim.span_attr(span, "fanout", targets.len() as u64);
+        let hook = self.upload_hook.borrow_mut().take();
+        if let Some(hook) = hook {
+            hook(sim, &req);
+            // re-arm unless the hook replaced itself
+            let mut h = self.upload_hook.borrow_mut();
+            if h.is_none() {
+                *h = Some(hook);
+            }
+        }
+        let remaining = Rc::new(Cell::new(targets.len()));
+        let first_fault: Rc<RefCell<Option<SoapFault>>> = Rc::new(RefCell::new(None));
+        let done = Rc::new(RefCell::new(Some(done)));
+        for (_, backend) in targets {
+            let this = Rc::clone(self);
+            let name = backend.name().to_owned();
+            let remaining = Rc::clone(&remaining);
+            let first_fault = Rc::clone(&first_fault);
+            let done = Rc::clone(&done);
+            let prev = sim.set_span_parent(span);
+            backend.serve(
+                sim,
+                req.clone(),
+                Box::new(move |sim, res| {
+                    if let Err(f) = res {
+                        first_fault.borrow_mut().get_or_insert(f);
+                    }
+                    this.backend_done(sim, &name);
+                    remaining.set(remaining.get() - 1);
+                    if remaining.get() == 0 {
+                        let ok = first_fault.borrow().is_none();
+                        this.close_front_door(sim, span, ok);
+                        let done = done.borrow_mut().take().expect("single join");
+                        match first_fault.borrow_mut().take() {
+                            None => done(sim, Ok(SoapValue::Bool(true))),
+                            Some(f) => done(sim, Err(f)),
+                        }
+                    }
+                }),
+            );
+            sim.set_span_parent(prev);
+        }
+    }
+
+    /// Deterministic replica choice; `None` when nothing is in rotation.
+    fn pick(&self, sim: &Sim) -> Option<usize> {
+        let slots = self.slots.borrow();
+        let live: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.draining)
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        Some(match self.cfg.policy {
+            Policy::RoundRobin => {
+                let k = self.rr_cursor.get();
+                self.rr_cursor.set(k.wrapping_add(1));
+                live[k % live.len()]
+            }
+            Policy::LeastOutstanding => {
+                let mut best = live[0];
+                for &i in &live[1..] {
+                    if slots[i].outstanding < slots[best].outstanding {
+                        best = i;
+                    }
+                }
+                best
+            }
+            Policy::UtilizationWeighted => {
+                let profile = sim.profile();
+                let busy = |i: usize| -> f64 {
+                    let key = format!("{}.cpu.busy", slots[i].backend.name());
+                    profile
+                        .server_busy
+                        .iter()
+                        .find(|s| s.key == key)
+                        .map_or(0.0, |s| s.busy_secs)
+                };
+                let mut best = live[0];
+                let mut best_busy = busy(best);
+                for &i in &live[1..] {
+                    let b = busy(i);
+                    if b < best_busy {
+                        best = i;
+                        best_busy = b;
+                    }
+                }
+                best
+            }
+        })
+    }
+
+    /// One admitted invocation finished on `name`.
+    fn settle(&self, sim: &mut Sim, name: &str, span: SpanId, ok: bool) {
+        self.backend_done(sim, name);
+        self.close_front_door(sim, span, ok);
+    }
+
+    /// Per-backend bookkeeping for one finished request; retires the slot
+    /// if it was draining and just went idle.
+    fn backend_done(&self, sim: &mut Sim, name: &str) {
+        let retire = {
+            let mut slots = self.slots.borrow_mut();
+            match slots.iter_mut().find(|s| s.backend.name() == name) {
+                None => false, // already retired (duplicate name impossible per fleet)
+                Some(slot) => {
+                    slot.outstanding -= 1;
+                    slot.draining && slot.outstanding == 0
+                }
+            }
+        };
+        if retire {
+            self.retire(sim, name);
+        }
+    }
+
+    /// Front-door bookkeeping for one finished request.
+    fn close_front_door(&self, sim: &mut Sim, span: SpanId, ok: bool) {
+        self.in_flight.set(self.in_flight.get() - 1);
+        let mut c = self.counters.borrow_mut();
+        if ok {
+            c.completed += 1;
+            drop(c);
+            sim.counter_add("dispatcher.completed", 1);
+            sim.span_end(span);
+        } else {
+            c.faulted += 1;
+            drop(c);
+            sim.counter_add("dispatcher.faulted", 1);
+            sim.span_fail(span, "replica returned a fault");
+        }
+    }
+
+    /// Drop a drained slot and notify the owner.
+    fn retire(&self, sim: &mut Sim, name: &str) {
+        self.slots
+            .borrow_mut()
+            .retain(|s| !(s.draining && s.outstanding == 0 && s.backend.name() == name));
+        let hook = self.drain_hook.borrow_mut().take();
+        if let Some(hook) = hook {
+            hook(sim, name);
+            let mut h = self.drain_hook.borrow_mut();
+            if h.is_none() {
+                *h = Some(hook);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Duration;
+
+    /// Serves every request after a fixed delay; can be told to fault.
+    struct Echo {
+        name: String,
+        delay: Duration,
+        fault: bool,
+        served: Cell<u64>,
+    }
+
+    impl Echo {
+        fn new(name: &str, delay_ms: u64) -> Rc<Echo> {
+            Rc::new(Echo {
+                name: name.into(),
+                delay: Duration::from_millis(delay_ms),
+                fault: false,
+                served: Cell::new(0),
+            })
+        }
+    }
+
+    impl Backend for Echo {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn serve(&self, sim: &mut Sim, _req: Request, done: Responder) {
+            self.served.set(self.served.get() + 1);
+            let fault = self.fault;
+            sim.schedule(self.delay, move |sim| {
+                if fault {
+                    done(sim, Err(SoapFault::server("echo fault")));
+                } else {
+                    done(sim, Ok(SoapValue::Bool(true)));
+                }
+            });
+        }
+    }
+
+    fn invoke() -> Request {
+        Request::Invoke {
+            service: "svc".into(),
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut sim = Sim::new(1);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            max_in_flight: 16,
+        });
+        let (a, b) = (Echo::new("a", 10), Echo::new("b", 10));
+        d.add_backend(a.clone());
+        d.add_backend(b.clone());
+        for _ in 0..6 {
+            d.submit(&mut sim, invoke(), Box::new(|_, r| assert!(r.is_ok())));
+        }
+        sim.run();
+        assert_eq!(a.served.get(), 3);
+        assert_eq!(b.served.get(), 3);
+        assert_eq!(d.counters().completed, 6);
+        assert_eq!(d.in_flight(), 0);
+    }
+
+    #[test]
+    fn least_outstanding_prefers_idle() {
+        let mut sim = Sim::new(2);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::LeastOutstanding,
+            max_in_flight: 16,
+        });
+        // a is slow, so it stays loaded; b should absorb the burst
+        let (a, b) = (Echo::new("a", 10_000), Echo::new("b", 10));
+        d.add_backend(a.clone());
+        d.add_backend(b.clone());
+        d.submit(&mut sim, invoke(), Box::new(|_, _| {})); // lands on a
+        // staggered arrivals: b finishes each before the next arrives, so
+        // least-outstanding keeps preferring it over the loaded a
+        for k in 0..4u64 {
+            let d2 = Rc::clone(&d);
+            sim.schedule(Duration::from_millis(100 + 50 * k), move |sim| {
+                d2.submit(sim, invoke(), Box::new(|_, _| {}));
+            });
+        }
+        sim.run();
+        assert_eq!(a.served.get(), 1);
+        assert_eq!(b.served.get(), 4);
+    }
+
+    #[test]
+    fn admission_limit_sheds_with_fault() {
+        let mut sim = Sim::new(3);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            max_in_flight: 2,
+        });
+        d.add_backend(Echo::new("a", 1000));
+        let shed_seen = Rc::new(Cell::new(0u32));
+        for _ in 0..5 {
+            let s = shed_seen.clone();
+            d.submit(
+                &mut sim,
+                invoke(),
+                Box::new(move |_, r| {
+                    if r.is_err() {
+                        s.set(s.get() + 1);
+                    }
+                }),
+            );
+        }
+        sim.run();
+        let c = d.counters();
+        assert_eq!(c.accepted, 2);
+        assert_eq!(c.shed, 3);
+        assert_eq!(shed_seen.get(), 3);
+        assert_eq!(c.completed, 2);
+    }
+
+    #[test]
+    fn no_backends_faults_every_request() {
+        let mut sim = Sim::new(4);
+        let d = Dispatcher::new(DispatcherConfig::default());
+        let got = Rc::new(Cell::new(0u32));
+        let g = got.clone();
+        d.submit(
+            &mut sim,
+            invoke(),
+            Box::new(move |_, r| {
+                assert!(r.is_err());
+                g.set(g.get() + 1);
+            }),
+        );
+        sim.run();
+        assert_eq!(got.get(), 1);
+        assert_eq!(d.counters().shed, 1);
+    }
+
+    #[test]
+    fn upload_broadcasts_to_all_live_backends() {
+        let mut sim = Sim::new(5);
+        let d = Dispatcher::new(DispatcherConfig::default());
+        let (a, b, c) = (Echo::new("a", 10), Echo::new("b", 20), Echo::new("c", 30));
+        d.add_backend(a.clone());
+        d.add_backend(b.clone());
+        d.add_backend(c.clone());
+        let seen = Rc::new(Cell::new(0u32));
+        let s = seen.clone();
+        d.submit(
+            &mut sim,
+            Request::Upload {
+                file_name: "f.exe".into(),
+                len: 64,
+                profile: ExecutionProfile::quick(),
+            },
+            Box::new(move |_, r| {
+                assert!(r.is_ok());
+                s.set(s.get() + 1);
+            }),
+        );
+        sim.run();
+        assert_eq!(seen.get(), 1, "join answers exactly once");
+        assert_eq!(a.served.get() + b.served.get() + c.served.get(), 3);
+        assert_eq!(d.counters().accepted, 1, "one front-door request");
+        assert_eq!(d.counters().completed, 1);
+    }
+
+    #[test]
+    fn drain_waits_for_outstanding_then_fires_hook() {
+        let mut sim = Sim::new(6);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            max_in_flight: 8,
+        });
+        let (a, b) = (Echo::new("a", 500), Echo::new("b", 500));
+        d.add_backend(a.clone());
+        d.add_backend(b);
+        d.submit(&mut sim, invoke(), Box::new(|_, _| {})); // on a
+        let drained: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+        let dr = drained.clone();
+        d.set_drain_hook(move |_, name| dr.borrow_mut().push(name.to_owned()));
+        assert!(d.remove_backend(&mut sim, "a"));
+        assert!(!d.remove_backend(&mut sim, "a"), "already draining");
+        assert_eq!(d.live_backends(), 1);
+        assert!(drained.borrow().is_empty(), "still has work in flight");
+        // new traffic avoids the draining replica
+        d.submit(&mut sim, invoke(), Box::new(|_, _| {}));
+        sim.run();
+        assert_eq!(*drained.borrow(), vec!["a".to_owned()]);
+        assert_eq!(a.served.get(), 1);
+        assert_eq!(d.counters().completed, 2);
+    }
+
+    #[test]
+    fn idle_backend_retires_immediately() {
+        let mut sim = Sim::new(7);
+        let d = Dispatcher::new(DispatcherConfig::default());
+        d.add_backend(Echo::new("a", 10));
+        d.add_backend(Echo::new("b", 10));
+        let drained = Rc::new(Cell::new(0u32));
+        let dr = drained.clone();
+        d.set_drain_hook(move |_, _| dr.set(dr.get() + 1));
+        assert!(d.remove_backend(&mut sim, "b"));
+        assert_eq!(drained.get(), 1);
+        assert_eq!(d.live_backends(), 1);
+    }
+
+    #[test]
+    fn conservation_under_faults() {
+        let mut sim = Sim::new(8);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::LeastOutstanding,
+            max_in_flight: 4,
+        });
+        let bad = Echo {
+            name: "bad".into(),
+            delay: Duration::from_millis(50),
+            fault: true,
+            served: Cell::new(0),
+        };
+        d.add_backend(Rc::new(bad));
+        d.add_backend(Echo::new("good", 50));
+        let answered = Rc::new(Cell::new(0u32));
+        for i in 0..10 {
+            let d2 = Rc::clone(&d);
+            let a = answered.clone();
+            sim.schedule(Duration::from_millis(i * 20), move |sim| {
+                let a = a.clone();
+                d2.submit(sim, invoke(), Box::new(move |_, _| a.set(a.get() + 1)));
+            });
+        }
+        sim.run();
+        let c = d.counters();
+        assert_eq!(answered.get(), 10, "every request answered exactly once");
+        assert_eq!(c.accepted + c.shed, 10);
+        assert_eq!(c.accepted, c.completed + c.faulted);
+        assert_eq!(d.in_flight(), 0);
+    }
+}

@@ -1,0 +1,727 @@
+//! Replica lifecycle and storage topology.
+//!
+//! A [`Fleet`] boots N copies of the onServe virtual appliance through
+//! [`vappliance::Appliance::deploy`] — so cold-start latency (image copy +
+//! VM boot + service start, ~1 minute) counts against every scale-up — and
+//! wires each booted replica into the shared [`Dispatcher`]. The front-end
+//! UDDI registry carries one `bindingTemplate` per replica per service, the
+//! classic replicated-SOA publication shape.
+//!
+//! The storage switch is the point of the whole exercise: §VIII-D says the
+//! appliance is disk-bound, so adding replicas only helps if the executable
+//! database replicates with them. [`StorageTopology::Shared`] binds every
+//! replica's [`blobstore::TimedDb`] to one storage host (a NAS: all
+//! database I/O serializes on its disk); [`StorageTopology::Replicated`]
+//! gives each replica its own store on its own appliance disk.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use blobstore::{BlobDb, TimedDb};
+use onserve::deployment::{Deployment, DeploymentSpec};
+use onserve::profile::ExecutionProfile;
+use simkit::{Host, HostSpec, Link, Sim, GBIT_PER_S};
+use simkit::{Duration, SpanId};
+use vappliance::{Appliance, ApplianceImage, DeploySpec};
+use wsstack::{BindingTemplate, SoapFault, UddiRegistry};
+
+use crate::dispatcher::{Backend, Dispatcher, DispatcherConfig, Request, Responder};
+
+/// Where the executable database lives relative to the replicas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageTopology {
+    /// One storage host serves every replica's database — all blob I/O
+    /// contends for a single disk (the paper's bottleneck, preserved).
+    Shared,
+    /// Every replica carries its own database on its own disk — storage
+    /// capacity grows with the fleet.
+    Replicated,
+}
+
+impl StorageTopology {
+    /// Short label for tables and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageTopology::Shared => "shared",
+            StorageTopology::Replicated => "replicated",
+        }
+    }
+}
+
+/// Everything needed to boot and grow a fleet.
+#[derive(Clone)]
+pub struct FleetSpec {
+    /// Per-replica deployment template. `appliance_name` becomes the
+    /// replica name prefix (`replica0`, `replica1`, ...); the other names
+    /// are suffixed per replica to keep metric prefixes unique.
+    pub base: DeploymentSpec,
+    /// Appliance image every replica boots from.
+    pub image: ApplianceImage,
+    /// Where the executable database lives.
+    pub topology: StorageTopology,
+    /// Hardware of the shared storage host (ignored under
+    /// [`StorageTopology::Replicated`]). Defaults to a commodity box; turn
+    /// the disk rates down to model the thin NAS the paper warns about.
+    pub shared_storage_spec: HostSpec,
+    /// Front-end routing and admission parameters.
+    pub dispatcher: DispatcherConfig,
+    /// Replicas to boot immediately.
+    pub initial_replicas: usize,
+}
+
+impl FleetSpec {
+    /// Spec with the paper's defaults around the given image: replicated
+    /// storage, least-outstanding routing, one replica.
+    pub fn with_image(image: ApplianceImage) -> FleetSpec {
+        FleetSpec {
+            base: DeploymentSpec {
+                appliance_name: "replica".into(),
+                ..DeploymentSpec::default()
+            },
+            image,
+            topology: StorageTopology::Replicated,
+            shared_storage_spec: HostSpec::commodity("blobstore"),
+            dispatcher: DispatcherConfig::default(),
+            initial_replicas: 1,
+        }
+    }
+}
+
+/// One catalogued executable, replayed onto every replica that boots.
+#[derive(Clone)]
+struct CatalogEntry {
+    file_name: String,
+    len: usize,
+    profile: ExecutionProfile,
+}
+
+struct Replica {
+    name: String,
+    appliance: Rc<Appliance>,
+    deployment: Option<Rc<Deployment>>,
+    retired: bool,
+    boot_span: SpanId,
+}
+
+struct Inner {
+    next_id: usize,
+    replicas: Vec<Replica>,
+    catalog: Vec<CatalogEntry>,
+    booting: usize,
+    booted: u64,
+    retired: u64,
+    /// Front-end UDDI key per service name.
+    service_keys: BTreeMap<String, String>,
+}
+
+/// A replicated onServe installation behind one front end.
+pub struct Fleet {
+    base: DeploymentSpec,
+    image: ApplianceImage,
+    topology: StorageTopology,
+    dispatcher: Rc<Dispatcher>,
+    image_link: Rc<Link>,
+    registry: Rc<RefCell<UddiRegistry>>,
+    shared_storage: Option<Rc<Host>>,
+    inner: RefCell<Inner>,
+}
+
+impl Fleet {
+    /// Assemble the fleet and start booting `initial_replicas` appliances.
+    /// Replicas join the rotation as they finish booting and provisioning;
+    /// drain the simulation (or watch [`Fleet::active_replicas`]) before
+    /// offering load.
+    pub fn new(sim: &mut Sim, spec: FleetSpec) -> Rc<Fleet> {
+        let image_link = Link::new(
+            "imgstore",
+            "store",
+            "vmm",
+            GBIT_PER_S,
+            Duration::from_millis(5),
+        );
+        let shared_storage = match spec.topology {
+            StorageTopology::Shared => Some(Host::new(&spec.shared_storage_spec)),
+            StorageTopology::Replicated => None,
+        };
+        let fleet = Rc::new(Fleet {
+            base: spec.base,
+            image: spec.image,
+            topology: spec.topology,
+            dispatcher: Dispatcher::new(spec.dispatcher),
+            image_link,
+            registry: Rc::new(RefCell::new(UddiRegistry::new())),
+            shared_storage,
+            inner: RefCell::new(Inner {
+                next_id: 0,
+                replicas: Vec::new(),
+                catalog: Vec::new(),
+                booting: 0,
+                booted: 0,
+                retired: 0,
+                service_keys: BTreeMap::new(),
+            }),
+        });
+        let weak = Rc::downgrade(&fleet);
+        fleet.dispatcher.set_drain_hook(move |sim, name| {
+            if let Some(fleet) = weak.upgrade() {
+                fleet.on_backend_drained(sim, name);
+            }
+        });
+        let weak = Rc::downgrade(&fleet);
+        fleet.dispatcher.set_upload_hook(move |sim, req| {
+            if let Some(fleet) = weak.upgrade() {
+                let _ = sim;
+                if let Request::Upload {
+                    file_name,
+                    len,
+                    profile,
+                } = req
+                {
+                    fleet.catalog_service(file_name, *len, *profile);
+                }
+            }
+        });
+        for _ in 0..spec.initial_replicas {
+            fleet.scale_up(sim);
+        }
+        fleet
+    }
+
+    /// The front-end router (also the workload sink).
+    pub fn dispatcher(&self) -> &Rc<Dispatcher> {
+        &self.dispatcher
+    }
+
+    /// The front-end UDDI registry: one businessService per published
+    /// executable, one bindingTemplate per replica currently advertising
+    /// it.
+    pub fn registry(&self) -> &Rc<RefCell<UddiRegistry>> {
+        &self.registry
+    }
+
+    /// The chosen storage topology.
+    pub fn topology(&self) -> StorageTopology {
+        self.topology
+    }
+
+    /// Replicas serving traffic right now.
+    pub fn active_replicas(&self) -> usize {
+        self.inner
+            .borrow()
+            .replicas
+            .iter()
+            .filter(|r| r.deployment.is_some() && !r.retired)
+            .count()
+    }
+
+    /// Replicas still booting or provisioning.
+    pub fn booting_replicas(&self) -> usize {
+        self.inner.borrow().booting
+    }
+
+    /// Capacity already paid for: active plus booting. The autoscaler
+    /// sizes against this so it doesn't double-order replicas that are
+    /// still in their ~1-minute boot.
+    pub fn effective_replicas(&self) -> usize {
+        self.active_replicas() + self.booting_replicas()
+    }
+
+    /// Replicas that ever reached the rotation.
+    pub fn booted_total(&self) -> u64 {
+        self.inner.borrow().booted
+    }
+
+    /// Replicas drained and destroyed.
+    pub fn retired_total(&self) -> u64 {
+        self.inner.borrow().retired
+    }
+
+    /// Boot one more replica; it joins the rotation after image copy, VM
+    /// boot, service start and catalog provisioning.
+    pub fn scale_up(self: &Rc<Self>, sim: &mut Sim) {
+        let (id, name) = {
+            let mut inner = self.inner.borrow_mut();
+            let id = inner.next_id;
+            inner.next_id += 1;
+            inner.booting += 1;
+            (id, format!("{}{}", self.base.appliance_name, id))
+        };
+        let boot_span = sim.span_begin("fleet.boot");
+        sim.span_attr(boot_span, "replica", name.clone());
+        let fleet = Rc::clone(self);
+        let boot_name = name.clone();
+        let appliance = Appliance::deploy(
+            sim,
+            &self.image,
+            &self.image_link,
+            &DeploySpec::default_for(&name),
+            move |sim, app| {
+                fleet.on_replica_running(sim, id, Rc::clone(app), boot_name);
+            },
+        );
+        self.inner.borrow_mut().replicas.push(Replica {
+            name,
+            appliance,
+            deployment: None,
+            retired: false,
+            boot_span,
+        });
+    }
+
+    /// Take the newest active replica out of rotation: stop advertising
+    /// it, let its in-flight work drain, then destroy the appliance.
+    /// Refuses (returns `false`) when it would leave no capacity at all.
+    pub fn scale_down(self: &Rc<Self>, sim: &mut Sim) -> bool {
+        if self.active_replicas() <= 1 {
+            return false;
+        }
+        let name = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(victim) = inner
+                .replicas
+                .iter_mut()
+                .rev()
+                .find(|r| r.deployment.is_some() && !r.retired)
+            else {
+                return false;
+            };
+            victim.retired = true;
+            victim.name.clone()
+        };
+        self.unadvertise(&name);
+        self.dispatcher.remove_backend(sim, &name);
+        true
+    }
+
+    /// Upload `file_name` to every active replica, catalog it for future
+    /// replicas, and advertise it in the front-end UDDI. `done` fires when
+    /// the slowest replica finishes provisioning. (The workload path — a
+    /// front-door upload through the dispatcher — lands in the same
+    /// catalog via the dispatcher's upload hook.)
+    pub fn publish<F>(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        file_name: &str,
+        len: usize,
+        profile: ExecutionProfile,
+        done: F,
+    ) where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        self.catalog_service(file_name, len, profile);
+        let targets: Vec<Rc<Deployment>> = self
+            .inner
+            .borrow()
+            .replicas
+            .iter()
+            .filter(|r| !r.retired)
+            .filter_map(|r| r.deployment.clone())
+            .collect();
+        if targets.is_empty() {
+            // replicas still booting will provision from the catalog
+            done(sim);
+            return;
+        }
+        let remaining = Rc::new(std::cell::Cell::new(targets.len()));
+        let done = Rc::new(RefCell::new(Some(done)));
+        for d in targets {
+            let req = d.upload_request(file_name, len, profile, &[]);
+            let remaining = Rc::clone(&remaining);
+            let done = Rc::clone(&done);
+            d.portal.upload(sim, req, move |sim, res| {
+                debug_assert!(res.is_ok(), "catalog provisioning failed");
+                let _ = res;
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    if let Some(done) = done.borrow_mut().take() {
+                        done(sim);
+                    }
+                }
+            });
+        }
+    }
+
+    // -- internal -----------------------------------------------------------
+
+    /// Record a service in the catalog and advertise active replicas for
+    /// it in the front-end registry.
+    fn catalog_service(&self, file_name: &str, len: usize, profile: ExecutionProfile) {
+        let service = service_name(file_name);
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.catalog.iter().any(|c| c.file_name == file_name) {
+                return;
+            }
+            inner.catalog.push(CatalogEntry {
+                file_name: file_name.to_owned(),
+                len,
+                profile,
+            });
+        }
+        let actives: Vec<String> = self
+            .inner
+            .borrow()
+            .replicas
+            .iter()
+            .filter(|r| r.deployment.is_some() && !r.retired)
+            .map(|r| r.name.clone())
+            .collect();
+        for replica in actives {
+            self.advertise(&service, &replica);
+        }
+    }
+
+    /// Add `replica`'s endpoint for `service` to the front-end registry,
+    /// publishing the businessService on first sight.
+    fn advertise(&self, service: &str, replica: &str) {
+        let binding = BindingTemplate {
+            access_point: access_point(replica, service),
+            wsdl_location: format!("{}?wsdl", access_point(replica, service)),
+        };
+        let mut inner = self.inner.borrow_mut();
+        let mut registry = self.registry.borrow_mut();
+        match inner.service_keys.get(service) {
+            Some(key) => {
+                // duplicate adds are harmless (replica already advertised)
+                let _ = registry.add_binding(key, binding);
+            }
+            None => {
+                let key = registry
+                    .publish(
+                        "onserve-fleet",
+                        service,
+                        "fleet front-end endpoint",
+                        binding,
+                    )
+                    .expect("front-end service names are unique");
+                inner.service_keys.insert(service.to_owned(), key);
+            }
+        }
+    }
+
+    /// Remove every front-end binding pointing at `replica`.
+    fn unadvertise(&self, replica: &str) {
+        let inner = self.inner.borrow();
+        let mut registry = self.registry.borrow_mut();
+        for (service, key) in &inner.service_keys {
+            // LastBinding is deliberately ignored: the final advertised
+            // endpoint stays until another replica takes over.
+            let _ = registry.remove_binding(key, &access_point(replica, service));
+        }
+    }
+
+    /// A replica's VM reached `Running`: assemble the middleware on it,
+    /// replay the catalog, then join the rotation.
+    fn on_replica_running(
+        self: Rc<Self>,
+        sim: &mut Sim,
+        id: usize,
+        appliance: Rc<Appliance>,
+        name: String,
+    ) {
+        let rspec = DeploymentSpec {
+            appliance_name: name.clone(),
+            client_name: format!("{name}-client"),
+            lan_name: format!("{name}-lan"),
+            myproxy_name: format!("{name}-myproxy"),
+            myproxy_path_name: format!("{name}-mp"),
+            ..self.base.clone()
+        };
+        let host = Rc::clone(appliance.host());
+        let db_host = match &self.shared_storage {
+            Some(storage) => Rc::clone(storage),
+            None => Rc::clone(&host),
+        };
+        let db = TimedDb::new(
+            Rc::new(RefCell::new(BlobDb::new())),
+            db_host,
+            rspec.config.write_strategy,
+        );
+        let d = Rc::new(Deployment::build_with_host_and_db(sim, &rspec, host, db));
+        self.provision_next(sim, id, d, 0);
+    }
+
+    /// Replay catalog entry `idx` onto the fresh replica, then recurse;
+    /// activates the replica when the catalog is exhausted. The length is
+    /// re-checked each step so executables uploaded mid-boot are included.
+    fn provision_next(self: Rc<Self>, sim: &mut Sim, id: usize, d: Rc<Deployment>, idx: usize) {
+        let entry = {
+            let inner = self.inner.borrow();
+            inner.catalog.get(idx).cloned()
+        };
+        match entry {
+            None => self.activate(sim, id, d),
+            Some(entry) => {
+                let req = d.upload_request(&entry.file_name, entry.len, entry.profile, &[]);
+                let d2 = Rc::clone(&d);
+                let fleet = self;
+                d.portal.upload(sim, req, move |sim, res| {
+                    debug_assert!(res.is_ok(), "catalog replay failed");
+                    let _ = res;
+                    fleet.provision_next(sim, id, d2, idx + 1);
+                });
+            }
+        }
+    }
+
+    /// Put a provisioned replica into the rotation and advertise it.
+    fn activate(self: Rc<Self>, sim: &mut Sim, id: usize, d: Rc<Deployment>) {
+        let expected = format!("{}{}", self.base.appliance_name, id);
+        let (name, services, boot_span) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.booting -= 1;
+            inner.booted += 1;
+            let services: Vec<String> = inner
+                .catalog
+                .iter()
+                .map(|c| service_name(&c.file_name))
+                .collect();
+            let replica = inner
+                .replicas
+                .iter_mut()
+                .find(|r| r.name == expected)
+                .expect("booting replica present");
+            replica.deployment = Some(Rc::clone(&d));
+            (replica.name.clone(), services, replica.boot_span)
+        };
+        sim.counter_add("fleet.booted", 1);
+        sim.span_end(boot_span);
+        for service in services {
+            self.advertise(&service, &name);
+        }
+        self.dispatcher.add_backend(Rc::new(ReplicaBackend {
+            name,
+            deployment: d,
+        }));
+    }
+
+    /// A drained replica's last request finished: tear the VM down.
+    fn on_backend_drained(&self, sim: &mut Sim, name: &str) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(replica) = inner.replicas.iter_mut().find(|r| r.name == name) {
+            let _ = replica.appliance.destroy();
+            replica.deployment = None;
+            inner.retired += 1;
+            drop(inner);
+            sim.counter_add("fleet.retired", 1);
+        }
+    }
+}
+
+/// The service name onServe derives from an executable's file name.
+fn service_name(file_name: &str) -> String {
+    file_name
+        .strip_suffix(".exe")
+        .unwrap_or(file_name)
+        .to_owned()
+}
+
+/// The endpoint a replica serves a generated service at.
+fn access_point(replica: &str, service: &str) -> String {
+    format!("http://{replica}:8080/axis2/services/{service}")
+}
+
+/// [`Backend`] adapter over one replica's full onServe deployment.
+struct ReplicaBackend {
+    name: String,
+    deployment: Rc<Deployment>,
+}
+
+impl Backend for ReplicaBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn serve(&self, sim: &mut Sim, req: Request, done: Responder) {
+        match req {
+            Request::Invoke { service, args } => {
+                let refs: Vec<(&str, wsstack::SoapValue)> =
+                    args.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+                self.deployment.invoke(sim, &service, &refs, done);
+            }
+            Request::Upload {
+                file_name,
+                len,
+                profile,
+            } => {
+                let req = self.deployment.upload_request(&file_name, len, profile, &[]);
+                self.deployment.portal.upload(sim, req, move |sim, res| {
+                    done(
+                        sim,
+                        res.map(|_| wsstack::SoapValue::Bool(true))
+                            .map_err(|e| SoapFault::server(&format!("upload: {e}"))),
+                    );
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::cell::Cell;
+
+    use super::*;
+
+    fn image() -> ApplianceImage {
+        ApplianceImage {
+            name: "onserve".into(),
+            bytes: 600.0 * simkit::MB,
+            boot_services: vec!["mysqld".into(), "tomcat".into(), "juddi".into()],
+            recipe_fingerprint: 1,
+        }
+    }
+
+    fn spec(topology: StorageTopology, replicas: usize) -> FleetSpec {
+        let mut spec = FleetSpec::with_image(image());
+        spec.topology = topology;
+        spec.initial_replicas = replicas;
+        spec
+    }
+
+    fn invoke(service: &str) -> Request {
+        Request::Invoke {
+            service: service.into(),
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn boots_replicas_provisions_and_serves_through_the_front_end() {
+        let mut sim = Sim::new(11);
+        let fleet = Fleet::new(&mut sim, spec(StorageTopology::Replicated, 2));
+        assert_eq!(fleet.active_replicas(), 0);
+        assert_eq!(fleet.booting_replicas(), 2);
+        sim.run();
+        assert_eq!(fleet.active_replicas(), 2);
+        assert_eq!(fleet.booted_total(), 2);
+
+        let published = Rc::new(Cell::new(false));
+        let p = Rc::clone(&published);
+        fleet.publish(
+            &mut sim,
+            "app.exe",
+            4 * 1024 * 1024,
+            ExecutionProfile::quick(),
+            move |_| p.set(true),
+        );
+        sim.run();
+        assert!(published.get());
+        // one businessService, one bindingTemplate per replica
+        let services: Vec<wsstack::BusinessService> = fleet
+            .registry()
+            .borrow_mut()
+            .find("app")
+            .into_iter()
+            .cloned()
+            .collect();
+        assert_eq!(services.len(), 1);
+        assert_eq!(services[0].bindings.len(), 2);
+
+        let ok = Rc::new(Cell::new(false));
+        let ok2 = Rc::clone(&ok);
+        fleet.dispatcher().clone().submit(
+            &mut sim,
+            invoke("app"),
+            Box::new(move |_, res| ok2.set(res.is_ok())),
+        );
+        sim.run();
+        assert!(ok.get());
+        let c = fleet.dispatcher().counters();
+        assert_eq!((c.accepted, c.completed, c.faulted), (1, 1, 0));
+    }
+
+    #[test]
+    fn front_door_upload_is_replayed_onto_later_replicas() {
+        let mut sim = Sim::new(12);
+        let fleet = Fleet::new(&mut sim, spec(StorageTopology::Replicated, 1));
+        sim.run();
+        // upload through the dispatcher, like the workload generator does
+        fleet.dispatcher().clone().submit(
+            &mut sim,
+            Request::Upload {
+                file_name: "tool.exe".into(),
+                len: 2 * 1024 * 1024,
+                profile: ExecutionProfile::quick(),
+            },
+            Box::new(|_, res| assert!(res.is_ok())),
+        );
+        sim.run();
+        fleet.scale_up(&mut sim);
+        sim.run();
+        assert_eq!(fleet.active_replicas(), 2);
+        // the late replica replayed the catalog and advertises the service
+        let registry = fleet.registry();
+        let mut registry = registry.borrow_mut();
+        let services = registry.find("tool");
+        assert_eq!(services.len(), 1);
+        assert_eq!(services[0].bindings.len(), 2);
+    }
+
+    #[test]
+    fn scale_down_drains_in_flight_work_then_destroys() {
+        let mut sim = Sim::new(13);
+        let fleet = Fleet::new(&mut sim, spec(StorageTopology::Replicated, 2));
+        sim.run();
+        fleet.publish(
+            &mut sim,
+            "slow.exe",
+            1024 * 1024,
+            ExecutionProfile::quick().lasting(Duration::from_secs(30)),
+            |_| {},
+        );
+        sim.run();
+        // occupy both replicas so the retiring one has in-flight work
+        let done = Rc::new(Cell::new(0u32));
+        for _ in 0..2 {
+            let done = Rc::clone(&done);
+            fleet.dispatcher().clone().submit(
+                &mut sim,
+                invoke("slow"),
+                Box::new(move |_, res| {
+                    assert!(res.is_ok());
+                    done.set(done.get() + 1);
+                }),
+            );
+        }
+        assert!(fleet.scale_down(&mut sim));
+        // out of rotation immediately, but not destroyed until drained
+        assert_eq!(fleet.active_replicas(), 1);
+        assert_eq!(fleet.retired_total(), 0);
+        sim.run();
+        assert_eq!(done.get(), 2, "draining replica finished its request");
+        assert_eq!(fleet.retired_total(), 1);
+        // the last replica can never be retired
+        assert!(!fleet.scale_down(&mut sim));
+        assert_eq!(fleet.active_replicas(), 1);
+    }
+
+    #[test]
+    fn shared_topology_charges_all_database_io_to_one_host() {
+        let run = |topology| {
+            let mut sim = Sim::new(14);
+            let fleet = Fleet::new(&mut sim, spec(topology, 2));
+            sim.run();
+            fleet.publish(
+                &mut sim,
+                "app.exe",
+                8 * 1024 * 1024,
+                ExecutionProfile::quick(),
+                |_| {},
+            );
+            sim.run();
+            for _ in 0..4 {
+                fleet
+                    .dispatcher()
+                    .clone()
+                    .submit(&mut sim, invoke("app"), Box::new(|_, res| assert!(res.is_ok())));
+            }
+            sim.run();
+            let r = sim.recorder_ref();
+            r.total("blobstore.disk.read.busy") + r.total("blobstore.disk.write.busy")
+        };
+        assert!(run(StorageTopology::Shared) > 0.0);
+        assert_eq!(run(StorageTopology::Replicated), 0.0);
+    }
+}

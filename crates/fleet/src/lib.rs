@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # onserve-fleet — scale-out for the onServe appliance
+//!
+//! The paper's §VIII-D concludes a single appliance is limited by disk or
+//! network I/O, never CPU, and points at the remedy without building it:
+//! the appliance is *virtual*, so deploy more of them. This crate is that
+//! missing tier, built entirely on the deterministic `simkit` clock:
+//!
+//! * [`workload`] — seeded open-loop arrival processes (Poisson, bursty
+//!   on/off, diurnal) and a closed-loop user population with think times,
+//!   emitting mixed upload/invoke traffic.
+//! * [`dispatcher`] — the front end: owns the published UDDI binding,
+//!   admits requests under a bounded in-flight limit (shedding overload as
+//!   a SOAP fault) and routes to replicas under round-robin,
+//!   least-outstanding or utilization-weighted policies.
+//! * [`fleet`] — replica lifecycle over `vappliance` (boot latency counts)
+//!   with the storage topology switch §VIII-D demands: one shared
+//!   blobstore host vs a replicated per-appliance store.
+//! * [`autoscaler`] — a sampling control loop with cooldown and
+//!   boot-latency awareness that never scales below one replica.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fleet::{Fleet, FleetSpec, StorageTopology};
+//! use simkit::{Sim, MB};
+//! use vappliance::ApplianceImage;
+//!
+//! let mut sim = Sim::new(7);
+//! let image = ApplianceImage {
+//!     name: "onserve".into(),
+//!     bytes: 600.0 * MB,
+//!     boot_services: vec!["mysqld".into(), "tomcat".into(), "juddi".into()],
+//!     recipe_fingerprint: 1,
+//! };
+//! let mut spec = FleetSpec::with_image(image);
+//! spec.initial_replicas = 2;
+//! spec.topology = StorageTopology::Replicated;
+//! let fleet = Fleet::new(&mut sim, spec);
+//! sim.run(); // boot both appliances (~1 virtual minute)
+//! assert_eq!(fleet.active_replicas(), 2);
+//! ```
+
+pub mod autoscaler;
+pub mod dispatcher;
+pub mod fleet;
+pub mod workload;
+
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleAction, ScaleDecision};
+pub use dispatcher::{
+    Backend, DispatchCounters, Dispatcher, DispatcherConfig, Policy, Request, Responder,
+};
+pub use fleet::{Fleet, FleetSpec, StorageTopology};
+pub use workload::{
+    start_closed_loop, start_open_loop, ArrivalProcess, Arrivals, Mix, SubmitFn, WorkloadStats,
+};

@@ -1,0 +1,149 @@
+//! Property-based invariants of the front-end dispatcher.
+//!
+//! The load-bearing property is *conservation*: every request submitted at
+//! the front door is answered exactly once — shed at the door, completed,
+//! or faulted — under arbitrary arrival schedules, replica counts, replica
+//! speeds, fault injection, admission limits, and mid-run scale-downs, for
+//! every routing policy.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use fleet::{Backend, Dispatcher, DispatcherConfig, Policy, Request, Responder};
+use onserve::profile::ExecutionProfile;
+use proptest::prelude::*;
+use simkit::{Duration, Sim};
+use wsstack::{SoapFault, SoapValue};
+
+/// Test double: serves after a fixed delay, optionally always faulting.
+struct Echo {
+    name: String,
+    delay: Duration,
+    fault: bool,
+}
+
+impl Backend for Echo {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn serve(&self, sim: &mut Sim, _req: Request, done: Responder) {
+        let fault = self.fault;
+        sim.schedule(self.delay, move |sim| {
+            if fault {
+                done(sim, Err(SoapFault::server("echo fault")));
+            } else {
+                done(sim, Ok(SoapValue::Bool(true)));
+            }
+        });
+    }
+}
+
+/// One generated front-door submission: arrival offset and request kind.
+fn arb_arrival() -> impl Strategy<Value = (u64, bool)> {
+    (0u64..2_000, any::<bool>())
+}
+
+proptest! {
+    /// Conservation: with `A` arrivals, the responder fires exactly `A`
+    /// times, `accepted + shed == A`, `accepted == completed + faulted`,
+    /// and nothing is left in flight once the simulation drains — for
+    /// every policy, over arbitrary fleets, faults, admission limits and
+    /// mid-run backend removals.
+    #[test]
+    fn dispatcher_conserves_requests(
+        backends in proptest::collection::vec((1u64..400, any::<bool>()), 1..5),
+        arrivals in proptest::collection::vec(arb_arrival(), 1..40),
+        max_in_flight in 1usize..9,
+        removals in proptest::collection::vec((0u64..2_000, 0usize..4), 0..3),
+    ) {
+        for policy in Policy::ALL {
+            let mut sim = Sim::new(0xd15);
+            let d = Dispatcher::new(DispatcherConfig { policy, max_in_flight });
+            for (i, &(delay_ms, fault)) in backends.iter().enumerate() {
+                d.add_backend(Rc::new(Echo {
+                    name: format!("r{i}"),
+                    delay: Duration::from_millis(delay_ms),
+                    fault,
+                }));
+            }
+            let answered = Rc::new(Cell::new(0u64));
+            for &(at_ms, is_upload) in &arrivals {
+                let d2 = Rc::clone(&d);
+                let a = Rc::clone(&answered);
+                sim.schedule(Duration::from_millis(at_ms), move |sim| {
+                    let req = if is_upload {
+                        Request::Upload {
+                            file_name: "f.exe".into(),
+                            len: 64,
+                            profile: ExecutionProfile::quick(),
+                        }
+                    } else {
+                        Request::Invoke { service: "svc".into(), args: Vec::new() }
+                    };
+                    let fired = Cell::new(false);
+                    d2.submit(sim, req, Box::new(move |_, _| {
+                        assert!(!fired.replace(true), "responder fired twice");
+                        a.set(a.get() + 1);
+                    }));
+                });
+            }
+            // scale-downs racing the traffic must not lose or double-answer
+            // requests; removing an unknown/already-draining name is a no-op
+            for &(at_ms, idx) in &removals {
+                let d2 = Rc::clone(&d);
+                let name = format!("r{}", idx % backends.len());
+                sim.schedule(Duration::from_millis(at_ms), move |sim| {
+                    let _ = d2.remove_backend(sim, &name);
+                });
+            }
+            sim.run();
+            let c = d.counters();
+            let total = arrivals.len() as u64;
+            prop_assert_eq!(answered.get(), total, "{}: answered != submitted", policy.label());
+            prop_assert_eq!(c.accepted + c.shed, total, "{}: door ledger", policy.label());
+            prop_assert_eq!(c.accepted, c.completed + c.faulted, "{}: outcome ledger", policy.label());
+            prop_assert_eq!(d.in_flight(), 0, "{}: in-flight after drain", policy.label());
+        }
+    }
+
+    /// The admission limit is a hard ceiling: at no instant do more than
+    /// `max_in_flight` requests sit past the front door.
+    #[test]
+    fn in_flight_never_exceeds_limit(
+        arrivals in proptest::collection::vec(arb_arrival(), 1..40),
+        max_in_flight in 1usize..6,
+        delay_ms in 1u64..1_000,
+    ) {
+        let mut sim = Sim::new(0xcab);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::LeastOutstanding,
+            max_in_flight,
+        });
+        d.add_backend(Rc::new(Echo {
+            name: "r0".into(),
+            delay: Duration::from_millis(delay_ms),
+            fault: false,
+        }));
+        let high_water = Rc::new(Cell::new(0usize));
+        for &(at_ms, _) in &arrivals {
+            let d2 = Rc::clone(&d);
+            let hw = Rc::clone(&high_water);
+            sim.schedule(Duration::from_millis(at_ms), move |sim| {
+                d2.submit(
+                    sim,
+                    Request::Invoke { service: "svc".into(), args: Vec::new() },
+                    Box::new(|_, _| {}),
+                );
+                hw.set(hw.get().max(d2.in_flight()));
+            });
+        }
+        sim.run();
+        prop_assert!(
+            high_water.get() <= max_in_flight,
+            "in-flight high water {} exceeded limit {}",
+            high_water.get(),
+            max_in_flight
+        );
+        prop_assert_eq!(d.in_flight(), 0);
+    }
+}

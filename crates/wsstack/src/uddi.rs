@@ -41,6 +41,10 @@ pub enum UddiError {
     UnknownKey(String),
     /// Publishing under a name that exists with a different key.
     DuplicateName(String),
+    /// Adding a bindingTemplate whose access point is already bound.
+    DuplicateBinding(String),
+    /// Removing the last bindingTemplate of a service (delete it instead).
+    LastBinding(String),
 }
 
 impl std::fmt::Display for UddiError {
@@ -48,6 +52,10 @@ impl std::fmt::Display for UddiError {
         match self {
             UddiError::UnknownKey(k) => write!(f, "unknown service key {k}"),
             UddiError::DuplicateName(n) => write!(f, "service name already published: {n}"),
+            UddiError::DuplicateBinding(a) => write!(f, "access point already bound: {a}"),
+            UddiError::LastBinding(k) => {
+                write!(f, "cannot remove the last binding of service {k}")
+            }
         }
     }
 }
@@ -138,6 +146,52 @@ impl UddiRegistry {
             .ok_or_else(|| UddiError::UnknownKey(service_key.to_owned()))?;
         svc.description = description.to_owned();
         Ok(())
+    }
+
+    /// Add a bindingTemplate to a published service — a replicated
+    /// endpoint behind the same service name, as SOA registries model
+    /// load-balanced deployments (one businessService, N
+    /// bindingTemplates). Access points must be unique within the service.
+    pub fn add_binding(
+        &mut self,
+        service_key: &str,
+        binding: BindingTemplate,
+    ) -> Result<(), UddiError> {
+        let svc = self
+            .services
+            .get_mut(service_key)
+            .ok_or_else(|| UddiError::UnknownKey(service_key.to_owned()))?;
+        if svc
+            .bindings
+            .iter()
+            .any(|b| b.access_point == binding.access_point)
+        {
+            return Err(UddiError::DuplicateBinding(binding.access_point));
+        }
+        svc.bindings.push(binding);
+        Ok(())
+    }
+
+    /// Remove the bindingTemplate with the given access point (a retired
+    /// replica). A service always keeps at least one binding.
+    pub fn remove_binding(
+        &mut self,
+        service_key: &str,
+        access_point: &str,
+    ) -> Result<BindingTemplate, UddiError> {
+        let svc = self
+            .services
+            .get_mut(service_key)
+            .ok_or_else(|| UddiError::UnknownKey(service_key.to_owned()))?;
+        let idx = svc
+            .bindings
+            .iter()
+            .position(|b| b.access_point == access_point)
+            .ok_or_else(|| UddiError::UnknownKey(access_point.to_owned()))?;
+        if svc.bindings.len() == 1 {
+            return Err(UddiError::LastBinding(service_key.to_owned()));
+        }
+        Ok(svc.bindings.remove(idx))
     }
 
     /// Unpublish a service.
@@ -300,6 +354,46 @@ mod tests {
         assert_eq!(r.get(&key).unwrap().description, "new words");
         assert!(matches!(
             r.update_description("uuid:none", "x"),
+            Err(UddiError::UnknownKey(_))
+        ));
+    }
+
+    #[test]
+    fn bindings_grow_and_shrink_with_replicas() {
+        let mut r = registry_with(&["Blast"]);
+        let key = r.find("Blast")[0].service_key.clone();
+        r.add_binding(
+            &key,
+            BindingTemplate {
+                access_point: "http://app2:8080/services/Blast".into(),
+                wsdl_location: "http://app2:8080/services/Blast?wsdl".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(r.get(&key).unwrap().bindings.len(), 2);
+        // duplicate access point rejected
+        assert!(matches!(
+            r.add_binding(
+                &key,
+                BindingTemplate {
+                    access_point: "http://app2:8080/services/Blast".into(),
+                    wsdl_location: "x".into(),
+                },
+            ),
+            Err(UddiError::DuplicateBinding(_))
+        ));
+        let gone = r
+            .remove_binding(&key, "http://app2:8080/services/Blast")
+            .unwrap();
+        assert_eq!(gone.access_point, "http://app2:8080/services/Blast");
+        // the last binding cannot be removed
+        assert!(matches!(
+            r.remove_binding(&key, "http://appliance:8080/services/Blast"),
+            Err(UddiError::LastBinding(_))
+        ));
+        assert_eq!(r.get(&key).unwrap().bindings.len(), 1);
+        assert!(matches!(
+            r.add_binding("uuid:none", binding("x")),
             Err(UddiError::UnknownKey(_))
         ));
     }

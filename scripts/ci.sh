@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> cargo build --examples"
+cargo build --workspace --examples
+
 echo "==> cargo test -q"
 cargo test -q --workspace
 
