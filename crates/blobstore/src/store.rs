@@ -61,6 +61,8 @@ pub enum DbError {
     NotFound(String),
     /// Blob failed checksum or decode (storage corruption).
     Corrupt(String),
+    /// A write was lost before it was durable (injected I/O fault).
+    WriteFailed(String),
 }
 
 impl fmt::Display for DbError {
@@ -69,6 +71,7 @@ impl fmt::Display for DbError {
             DbError::Duplicate(n) => write!(f, "duplicate executable name: {n}"),
             DbError::NotFound(n) => write!(f, "no such executable: {n}"),
             DbError::Corrupt(n) => write!(f, "corrupt blob for: {n}"),
+            DbError::WriteFailed(n) => write!(f, "write failed for: {n}"),
         }
     }
 }

@@ -14,7 +14,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use simkit::{Host, Sim};
+use simkit::{FaultInjector, Host, Sim};
 
 use crate::store::{BlobDb, DbError, ParamSpec};
 
@@ -53,12 +53,26 @@ pub struct TimedDb {
     db: Rc<RefCell<BlobDb>>,
     host: Rc<Host>,
     strategy: WriteStrategy,
+    faults: RefCell<Option<Rc<FaultInjector>>>,
 }
 
 impl TimedDb {
     /// Bind `db` to `host` under the given write strategy.
     pub fn new(db: Rc<RefCell<BlobDb>>, host: Rc<Host>, strategy: WriteStrategy) -> Rc<TimedDb> {
-        Rc::new(TimedDb { db, host, strategy })
+        Rc::new(TimedDb {
+            db,
+            host,
+            strategy,
+            faults: RefCell::new(None),
+        })
+    }
+
+    /// Subject stores to a [`FaultInjector`]: each store may fail with
+    /// [`DbError::WriteFailed`] at the DB-write step — after the temp pass
+    /// and compression were already paid for, like a real mid-transaction
+    /// I/O error. Pass `None` to heal.
+    pub fn inject_faults(&self, injector: Option<Rc<FaultInjector>>) {
+        *self.faults.borrow_mut() = injector;
     }
 
     /// The raw database handle.
@@ -106,12 +120,16 @@ impl TimedDb {
             timing.cpu_seconds += cpu;
             let this2 = Rc::clone(&this);
             this.host.clone().compute(sim, cpu, move |sim| {
-                let res = this2.db.borrow_mut().insert(
-                    &name,
-                    &description,
-                    params,
-                    &data,
-                );
+                let injected = this2
+                    .faults
+                    .borrow()
+                    .as_ref()
+                    .is_some_and(|f| f.fail_write());
+                let res = if injected {
+                    Err(DbError::WriteFailed(name.clone()))
+                } else {
+                    this2.db.borrow_mut().insert(&name, &description, params, &data)
+                };
                 match res {
                     Ok(id) => {
                         let stored = this2
@@ -328,6 +346,33 @@ mod tests {
         });
         sim.run();
         assert!(hit.get());
+    }
+
+    #[test]
+    fn injected_write_failure_surfaces_after_paying_the_io() {
+        let (mut sim, db) = setup(WriteStrategy::DoubleWrite);
+        // p=1: every store fails at the DB-write step, deterministically
+        db.inject_faults(Some(simkit::FaultPlan::new(5).write_fail(1.0).injector()));
+        let hit = Rc::new(Cell::new(false));
+        let h2 = hit.clone();
+        db.store(&mut sim, "exe", "", vec![], payload(1024 * 1024), move |_, r, t| {
+            assert!(matches!(r, Err(DbError::WriteFailed(_))));
+            // the temp pass was already spent before the failure
+            assert!(t.disk_write_bytes >= 1024.0 * 1024.0, "{t:?}");
+            h2.set(true);
+        });
+        sim.run();
+        assert!(hit.get());
+        // heal and retry: the name was never inserted, so it succeeds
+        db.inject_faults(None);
+        let ok = Rc::new(Cell::new(false));
+        let o2 = ok.clone();
+        db.store(&mut sim, "exe", "", vec![], payload(1024 * 1024), move |_, r, _| {
+            r.unwrap();
+            o2.set(true);
+        });
+        sim.run();
+        assert!(ok.get());
     }
 
     #[test]

@@ -322,6 +322,35 @@ mod tests {
     }
 
     #[test]
+    fn crash_killed_job_surfaces_as_node_failure() {
+        // a long job whose replica VM "dies" two minutes in
+        let mut r = submit_job(600, 50.0 * KB, 60);
+        let got: OutcomeSlot = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        OutputPoller::default().start(
+            &mut r.sim,
+            Rc::clone(&r.agent),
+            r.session,
+            Rc::clone(&r.site),
+            r.handle.clone(),
+            move |_, res| *g.borrow_mut() = Some(res),
+        );
+        let site = Rc::clone(&r.site);
+        let job = r.handle.job;
+        r.sim.schedule(Duration::from_secs(120), move |sim| {
+            gridsim::gram::Gatekeeper::kill(site.gatekeeper(), sim, job).unwrap();
+        });
+        r.sim.run();
+        let outcome = got.borrow().clone().unwrap();
+        match outcome {
+            Err((PollError::JobFailed(JobOutcome::NodeFailure), stats)) => {
+                assert!(stats.polls >= 2, "{stats:?}");
+            }
+            other => panic!("expected node failure, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn timeout_gives_up() {
         let mut r = submit_job(10_000, 10.0, 600);
         let got: OutcomeSlot = Rc::new(RefCell::new(None));

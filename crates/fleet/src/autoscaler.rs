@@ -52,6 +52,10 @@ pub enum ScaleDecision {
     Up,
     /// Started draining one replica.
     Down,
+    /// Re-ordered capacity lost to a crash. Unlike [`ScaleDecision::Up`]
+    /// this bypasses the cooldown: replacing involuntary loss is not an
+    /// oscillation risk, it restores the size the loop already chose.
+    Replace,
     /// Thresholds not crossed.
     Hold,
     /// Threshold crossed but inside the cooldown window.
@@ -76,6 +80,8 @@ pub struct Autoscaler {
     fleet: Rc<Fleet>,
     cfg: AutoscalerConfig,
     last_action: Cell<Option<SimTime>>,
+    /// Crash losses already replaced, vs [`Fleet::lost_total`].
+    seen_lost: Cell<u64>,
     actions: RefCell<Vec<ScaleAction>>,
     stopped: Cell<bool>,
 }
@@ -92,6 +98,7 @@ impl Autoscaler {
             fleet: Rc::clone(fleet),
             cfg,
             last_action: Cell::new(None),
+            seen_lost: Cell::new(0),
             actions: RefCell::new(Vec::new()),
             stopped: Cell::new(false),
         });
@@ -136,9 +143,22 @@ impl Autoscaler {
             .last_action
             .get()
             .is_some_and(|t| sim.now() < t + self.cfg.cooldown);
+        let lost = self.fleet.lost_total();
+        let newly_lost = lost.saturating_sub(self.seen_lost.get());
+        self.seen_lost.set(lost);
         let wants_up = load > self.cfg.scale_up_load && effective < self.cfg.max_replicas;
         let wants_down = load < self.cfg.scale_down_load && effective > min;
-        let decision = if (wants_up || wants_down) && in_cooldown {
+        let decision = if newly_lost > 0 && effective < self.cfg.max_replicas {
+            // crash-loss replacement: retired_total (voluntary drains)
+            // never lands here, only lost_total deltas do
+            let replacements = (newly_lost as usize).min(self.cfg.max_replicas - effective);
+            sim.span_attr(span, "replacing", replacements as u64);
+            for _ in 0..replacements {
+                self.fleet.scale_up(sim);
+            }
+            sim.counter_add("autoscaler.replace", replacements as u64);
+            ScaleDecision::Replace
+        } else if (wants_up || wants_down) && in_cooldown {
             ScaleDecision::Cooldown
         } else if wants_up {
             self.fleet.scale_up(sim);
@@ -162,6 +182,7 @@ impl Autoscaler {
             match decision {
                 ScaleDecision::Up => "up",
                 ScaleDecision::Down => "down",
+                ScaleDecision::Replace => "replace",
                 ScaleDecision::Hold => "hold",
                 ScaleDecision::Cooldown => "cooldown",
             },
@@ -279,5 +300,69 @@ mod tests {
                 .any(|a| a.decision == ScaleDecision::Cooldown),
             "overload inside the window is deferred, not acted on"
         );
+    }
+
+    #[test]
+    fn crash_loss_is_replaced_inside_the_cooldown_window() {
+        let mut sim = Sim::new(23);
+        let fleet = fleet_of(&mut sim, 2);
+        sim.run();
+        fleet.publish(
+            &mut sim,
+            "slow.exe",
+            1024 * 1024,
+            ExecutionProfile::quick().lasting(Duration::from_secs(3600)),
+            |_| {},
+        );
+        sim.run();
+        // sustained overload: the first tick scales up and arms a long
+        // cooldown
+        for _ in 0..40 {
+            fleet.dispatcher().clone().submit(
+                &mut sim,
+                Request::Invoke {
+                    service: "slow".into(),
+                    args: Vec::new(),
+                },
+                Box::new(|_, _| {}),
+            );
+        }
+        let cooldown = Duration::from_secs(600);
+        let until = sim.now() + Duration::from_secs(300);
+        let scaler = Autoscaler::install(
+            &mut sim,
+            &fleet,
+            AutoscalerConfig {
+                cooldown,
+                ..AutoscalerConfig::default()
+            },
+            until,
+        );
+        // a replica dies well inside the cooldown armed by the scale-up
+        let fleet2 = Rc::clone(&fleet);
+        sim.schedule(Duration::from_secs(60), move |sim| {
+            let victim = fleet2.active_replica_names()[0].clone();
+            assert!(fleet2.crash_replica(sim, &victim));
+        });
+        sim.run();
+        let actions = scaler.actions();
+        let up_at = actions
+            .iter()
+            .find(|a| a.decision == ScaleDecision::Up)
+            .expect("overload ordered capacity")
+            .at;
+        let replace_at = actions
+            .iter()
+            .find(|a| a.decision == ScaleDecision::Replace)
+            .expect("the crash was replaced")
+            .at;
+        assert!(
+            replace_at - up_at < cooldown,
+            "replacement did not wait out the cooldown"
+        );
+        assert_eq!(fleet.lost_total(), 1);
+        assert_eq!(fleet.retired_total(), 0, "a crash is not a drain");
+        // initial 2 + load-driven up + crash replacement
+        assert_eq!(fleet.booted_total(), 4);
     }
 }

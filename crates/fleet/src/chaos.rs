@@ -1,0 +1,141 @@
+//! Chaos driver: materialize a [`FaultPlan`]'s crash schedule against a
+//! live fleet.
+//!
+//! [`ChaosMonkey::unleash`] walks [`FaultPlan::crash_times`] and schedules
+//! one strike per entry on the virtual clock. Each strike picks a victim
+//! uniformly among the replicas active *at strike time* — drawn from a
+//! dedicated RNG derived from the plan seed, so the whole kill sequence is
+//! a pure function of `(plan, workload)` and replays byte-identically.
+//! Strikes that find no active replica (the fleet is already dark, or
+//! still booting replacements) are counted as skipped rather than
+//! deferred, mirroring real chaos tooling that fires on wall-clock
+//! schedules regardless of fleet state.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use simkit::fault::FaultPlan;
+use simkit::{Rng, Sim};
+
+use crate::fleet::Fleet;
+
+/// Salt for the victim-selection RNG stream (distinct from the plan's
+/// schedule and injector streams).
+const VICTIM_SALT: u64 = 0x7669_6374_696d; // "victim"
+
+/// Scheduled replica killer; create with [`ChaosMonkey::unleash`].
+pub struct ChaosMonkey {
+    rng: RefCell<Rng>,
+    scheduled: usize,
+    landed: Cell<u64>,
+    skipped: Cell<u64>,
+}
+
+impl ChaosMonkey {
+    /// Schedule every crash in `plan` against `fleet`, offset from the
+    /// current virtual time. Returns a handle for post-run accounting.
+    pub fn unleash(sim: &mut Sim, fleet: &Rc<Fleet>, plan: &FaultPlan) -> Rc<ChaosMonkey> {
+        let times = plan.crash_times();
+        let monkey = Rc::new(ChaosMonkey {
+            rng: RefCell::new(plan.derived_rng(VICTIM_SALT)),
+            scheduled: times.len(),
+            landed: Cell::new(0),
+            skipped: Cell::new(0),
+        });
+        for t in times {
+            let fleet = Rc::clone(fleet);
+            let monkey2 = Rc::clone(&monkey);
+            sim.schedule(t, move |sim| monkey2.strike(sim, &fleet));
+        }
+        monkey
+    }
+
+    /// Crashes on the plan's schedule.
+    pub fn scheduled(&self) -> usize {
+        self.scheduled
+    }
+
+    /// Strikes that killed a replica.
+    pub fn landed(&self) -> u64 {
+        self.landed.get()
+    }
+
+    /// Strikes that found no active replica to kill.
+    pub fn skipped(&self) -> u64 {
+        self.skipped.get()
+    }
+
+    fn strike(&self, sim: &mut Sim, fleet: &Rc<Fleet>) {
+        let names = fleet.active_replica_names();
+        if names.is_empty() {
+            self.skipped.set(self.skipped.get() + 1);
+            sim.counter_add("chaos.skipped", 1);
+            return;
+        }
+        let idx = self.rng.borrow_mut().below(names.len() as u64) as usize;
+        if fleet.crash_replica(sim, &names[idx]) {
+            self.landed.set(self.landed.get() + 1);
+            sim.counter_add("chaos.landed", 1);
+        } else {
+            self.skipped.set(self.skipped.get() + 1);
+            sim.counter_add("chaos.skipped", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{FleetSpec, StorageTopology};
+    use simkit::Duration;
+    use vappliance::ApplianceImage;
+
+    fn fleet_of(sim: &mut Sim, replicas: usize) -> Rc<Fleet> {
+        let image = ApplianceImage {
+            name: "onserve".into(),
+            bytes: 600.0 * simkit::MB,
+            boot_services: vec!["mysqld".into(), "tomcat".into(), "juddi".into()],
+            recipe_fingerprint: 1,
+        };
+        let mut spec = FleetSpec::with_image(image);
+        spec.topology = StorageTopology::Replicated;
+        spec.initial_replicas = replicas;
+        Fleet::new(sim, spec)
+    }
+
+    #[test]
+    fn strikes_land_on_active_replicas_and_replay_per_seed() {
+        let run = |seed| {
+            let mut sim = Sim::new(41);
+            let fleet = fleet_of(&mut sim, 3);
+            sim.run(); // boot everyone before the monkey wakes up
+            let plan = FaultPlan::new(seed)
+                .crash_at(Duration::from_secs(10))
+                .crash_at(Duration::from_secs(20));
+            let monkey = ChaosMonkey::unleash(&mut sim, &fleet, &plan);
+            sim.run();
+            assert_eq!(monkey.scheduled(), 2);
+            assert_eq!(monkey.landed(), 2);
+            assert_eq!(monkey.skipped(), 0);
+            assert_eq!(fleet.lost_total(), 2);
+            assert_eq!(fleet.active_replicas(), 1);
+            fleet.active_replica_names()
+        };
+        assert_eq!(run(7), run(7), "victim sequence replays from the seed");
+    }
+
+    #[test]
+    fn strikes_against_a_dark_fleet_are_skipped() {
+        let mut sim = Sim::new(42);
+        let fleet = fleet_of(&mut sim, 1);
+        sim.run();
+        let plan = FaultPlan::new(3)
+            .crash_at(Duration::from_secs(5))
+            .crash_at(Duration::from_secs(6));
+        let monkey = ChaosMonkey::unleash(&mut sim, &fleet, &plan);
+        sim.run();
+        assert_eq!(monkey.landed(), 1, "only one replica existed to kill");
+        assert_eq!(monkey.skipped(), 1);
+        assert_eq!(fleet.active_replicas(), 0);
+    }
+}

@@ -11,12 +11,27 @@
 //! Backends are abstract ([`Backend`]) so the routing and conservation
 //! logic is testable without booting appliances; the production backend
 //! wrapping a replica's [`onserve::Deployment`] lives in [`crate::fleet`].
+//!
+//! ## Failure model
+//!
+//! Replicas can die without draining ([`Dispatcher::eject_backend`]). Every
+//! dispatched attempt is registered in a central *op table*; ejecting a
+//! backend resolves its outstanding ops as `backend lost`, and any response
+//! the dead replica produces later finds its op gone and is dropped (no
+//! zombie completions, no double-settle). Lost or suspect invocations are
+//! retried on surviving replicas under [`RetryConfig`] — capped attempts,
+//! exponential backoff with seeded jitter — and shed as a SOAP fault only
+//! when retries are exhausted or no backend remains. Uploads are *not*
+//! retried (at-most-once; see DESIGN.md §failure model). An optional
+//! per-attempt timeout treats a silent backend as dead and ejects it.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use onserve::profile::ExecutionProfile;
-use simkit::{Sim, SpanId};
+use simkit::engine::EventId;
+use simkit::{Duration, Sim, SpanId};
 use wsstack::{SoapFault, SoapValue};
 
 /// One front-door request.
@@ -50,7 +65,15 @@ pub trait Backend {
     /// Stable replica name (the metric prefix of its appliance host).
     fn name(&self) -> &str;
     /// Serve one request, calling `done` exactly once (now or later).
+    /// After the backend's owner has ejected it, `done` may also never
+    /// fire — the dispatcher's op table absorbs both shapes.
     fn serve(&self, sim: &mut Sim, req: Request, done: Responder);
+    /// Liveness hint. A backend that answers with a fault *while
+    /// unhealthy* is treated as lost (fault-signal detection) rather than
+    /// as an application error. Defaults to healthy.
+    fn healthy(&self) -> bool {
+        true
+    }
 }
 
 /// Replica-selection policy.
@@ -85,6 +108,48 @@ impl Policy {
     }
 }
 
+/// Front-door retry behaviour for invocations that lose their replica.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryConfig {
+    /// Retries per request on top of the first attempt.
+    pub max_retries: u32,
+    /// Backoff before retry *n* is `base * 2^(n-1)`, capped at `max`.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: the backoff is scaled by a seeded
+    /// uniform draw from `[1-jitter, 1+jitter]` so synchronized losses
+    /// don't retry in lock-step.
+    pub jitter: f64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(200),
+            max_backoff: Duration::from_secs(5),
+            jitter: 0.2,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Backoff before retry `attempt` (1-based), jittered from the sim rng.
+    fn backoff(&self, sim: &mut Sim, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(32));
+        let capped = exp.min(self.max_backoff);
+        if self.jitter <= 0.0 {
+            return capped;
+        }
+        let j = self.jitter.min(1.0);
+        let scale = sim.rng().range_f64(1.0 - j, 1.0 + j);
+        Duration::from_secs_f64(capped.as_secs_f64() * scale)
+    }
+}
+
 /// Dispatcher parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct DispatcherConfig {
@@ -93,6 +158,12 @@ pub struct DispatcherConfig {
     /// Admission limit: requests in flight across the whole fleet before
     /// new arrivals are shed.
     pub max_in_flight: usize,
+    /// Retry invocations whose replica was lost mid-flight. `None`
+    /// fail-fasts the loss to the client as a SOAP fault.
+    pub retry: Option<RetryConfig>,
+    /// Eject a backend that has not answered an attempt within this long
+    /// (the timeout dead-backend signal). `None` disables the watchdog.
+    pub request_timeout: Option<Duration>,
 }
 
 impl Default for DispatcherConfig {
@@ -100,6 +171,8 @@ impl Default for DispatcherConfig {
         DispatcherConfig {
             policy: Policy::LeastOutstanding,
             max_in_flight: 64,
+            retry: Some(RetryConfig::default()),
+            request_timeout: None,
         }
     }
 }
@@ -120,12 +193,51 @@ pub struct DispatchCounters {
     /// Admitted requests that had to wait behind another request already
     /// outstanding on their chosen replica.
     pub queued: u64,
+    /// Retry attempts dispatched after a replica loss (does not change
+    /// `accepted`: a retried request is still one admitted request).
+    pub retried: u64,
+    /// Backends thrown out of rotation without drain.
+    pub ejected: u64,
 }
 
 struct Slot {
     backend: Rc<dyn Backend>,
-    outstanding: usize,
+    /// Ops currently outstanding on this backend (attempt granularity).
+    ops: Vec<u64>,
     draining: bool,
+}
+
+impl Slot {
+    fn outstanding(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// How one dispatched attempt ended.
+enum OpOutcome {
+    /// The backend answered (well-formed response or application fault).
+    Answered(Result<SoapValue, SoapFault>),
+    /// The named backend was ejected while the attempt was outstanding,
+    /// or its watchdog fired.
+    BackendLost(String),
+}
+
+/// How an attempt resolves once its fate is known.
+type OpComplete = Box<dyn FnOnce(&mut Sim, OpOutcome)>;
+
+/// One outstanding attempt in the central op table.
+struct PendingOp {
+    backend: String,
+    complete: OpComplete,
+    timeout: Option<EventId>,
+}
+
+/// One admitted invocation making its way through attempts.
+struct Ticket {
+    req: Request,
+    done: Option<Responder>,
+    span: SpanId,
+    retries: u32,
 }
 
 type DrainHook = Box<dyn Fn(&mut Sim, &str)>;
@@ -138,6 +250,8 @@ pub struct Dispatcher {
     rr_cursor: Cell<usize>,
     in_flight: Cell<usize>,
     counters: RefCell<DispatchCounters>,
+    next_op: Cell<u64>,
+    ops: RefCell<HashMap<u64, PendingOp>>,
     drain_hook: RefCell<Option<DrainHook>>,
     upload_hook: RefCell<Option<UploadHook>>,
 }
@@ -151,6 +265,8 @@ impl Dispatcher {
             rr_cursor: Cell::new(0),
             in_flight: Cell::new(0),
             counters: RefCell::new(DispatchCounters::default()),
+            next_op: Cell::new(0),
+            ops: RefCell::new(HashMap::new()),
             drain_hook: RefCell::new(None),
             upload_hook: RefCell::new(None),
         })
@@ -165,7 +281,7 @@ impl Dispatcher {
     pub fn add_backend(&self, backend: Rc<dyn Backend>) {
         self.slots.borrow_mut().push(Slot {
             backend,
-            outstanding: 0,
+            ops: Vec::new(),
             draining: false,
         });
     }
@@ -184,7 +300,7 @@ impl Dispatcher {
                 return false;
             };
             slot.draining = true;
-            slot.outstanding == 0
+            slot.outstanding() == 0
         };
         if idle {
             self.retire(sim, name);
@@ -242,64 +358,124 @@ impl Dispatcher {
         done(sim, Err(SoapFault::server(&format!("dispatcher: {why}"))));
     }
 
-    /// Route an invocation to one replica by policy.
+    /// Admit an invocation and start its first attempt.
     fn dispatch_one(self: &Rc<Self>, sim: &mut Sim, span: SpanId, req: Request, done: Responder) {
-        let Some(pick) = self.pick(sim) else {
+        if self.live_backends() == 0 {
             self.shed(sim, span, "no replicas in rotation", done);
             return;
-        };
-        let (backend, queued) = {
-            let mut slots = self.slots.borrow_mut();
-            let slot = &mut slots[pick];
-            slot.outstanding += 1;
-            let queued = slot.outstanding > 1;
-            let mut c = self.counters.borrow_mut();
-            c.accepted += 1;
-            if queued {
-                c.queued += 1;
-            }
-            (Rc::clone(&slot.backend), queued)
-        };
+        }
+        self.counters.borrow_mut().accepted += 1;
         self.in_flight.set(self.in_flight.get() + 1);
         sim.counter_add("dispatcher.accepted", 1);
+        sim.span_attr(span, "in_flight", self.in_flight.get() as u64);
+        self.attempt(
+            sim,
+            Ticket {
+                req,
+                done: Some(done),
+                span,
+                retries: 0,
+            },
+        );
+    }
+
+    /// One routing attempt for an admitted invocation (first try or retry).
+    fn attempt(self: &Rc<Self>, sim: &mut Sim, ticket: Ticket) {
+        let Some(pick) = self.pick(sim) else {
+            // every backend is gone: re-shed to the client as a SOAP fault
+            self.fail_ticket(sim, ticket, "no replicas in rotation");
+            return;
+        };
+        let span = ticket.span;
+        let req = ticket.req.clone();
+        let attempt_no = ticket.retries;
+        let this = Rc::clone(self);
+        let (op_id, backend, queued) = self.register_op(
+            sim,
+            pick,
+            Box::new(move |sim, outcome| match outcome {
+                OpOutcome::Answered(res) => this.settle_ticket(sim, ticket, res),
+                OpOutcome::BackendLost(lost) => this.retry_or_fail(sim, ticket, &lost),
+            }),
+        );
         if queued {
+            self.counters.borrow_mut().queued += 1;
             sim.counter_add("dispatcher.queued", 1);
         }
         sim.span_attr(span, "replica", backend.name().to_owned());
-        sim.span_attr(span, "in_flight", self.in_flight.get() as u64);
+        if attempt_no > 0 {
+            sim.span_attr(span, "attempt", attempt_no as u64);
+        }
         let this = Rc::clone(self);
-        let name = backend.name().to_owned();
         // parent replica-internal spans under the dispatch span
         let prev = sim.set_span_parent(span);
         backend.serve(
             sim,
             req,
-            Box::new(move |sim, res| {
-                this.settle(sim, &name, span, res.is_ok());
-                done(sim, res);
-            }),
+            Box::new(move |sim, res| this.op_answered(sim, op_id, res)),
         );
         sim.set_span_parent(prev);
+    }
+
+    /// The attempt's replica was lost: back off and go again on whatever
+    /// survives, or give up when the cap is hit / retry is disabled.
+    fn retry_or_fail(self: &Rc<Self>, sim: &mut Sim, mut ticket: Ticket, lost: &str) {
+        let Some(rc) = self.cfg.retry else {
+            self.fail_ticket(sim, ticket, &format!("replica {lost} lost; retry disabled"));
+            return;
+        };
+        if ticket.retries >= rc.max_retries {
+            self.fail_ticket(sim, ticket, &format!("replica {lost} lost; retries exhausted"));
+            return;
+        }
+        ticket.retries += 1;
+        self.counters.borrow_mut().retried += 1;
+        sim.counter_add("dispatcher.retried", 1);
+        let rspan = sim.span_child("dispatcher.retry", ticket.span);
+        sim.span_attr(rspan, "replica", lost.to_owned());
+        sim.span_attr(rspan, "attempt", ticket.retries as u64);
+        let delay = rc.backoff(sim, ticket.retries);
+        sim.span_attr(rspan, "backoff_ms", delay.as_secs_f64() * 1e3);
+        let this = Rc::clone(self);
+        // the retry span covers the backoff window
+        sim.schedule(delay, move |sim| {
+            sim.span_end(rspan);
+            this.attempt(sim, ticket);
+        });
+    }
+
+    /// Resolve an admitted invocation exactly once.
+    fn settle_ticket(
+        &self,
+        sim: &mut Sim,
+        mut ticket: Ticket,
+        res: Result<SoapValue, SoapFault>,
+    ) {
+        self.close_front_door(sim, ticket.span, res.is_ok());
+        let done = ticket.done.take().expect("ticket settles once");
+        done(sim, res);
+    }
+
+    /// Resolve an admitted invocation as a dispatcher-level fault.
+    fn fail_ticket(&self, sim: &mut Sim, ticket: Ticket, why: &str) {
+        let fault = SoapFault::server(&format!("dispatcher: {why}"));
+        self.settle_ticket(sim, ticket, Err(fault));
     }
 
     /// Fan an upload out to every live replica; the front-door request
     /// completes when the slowest replica has it, and faults if any
     /// replica faulted.
     fn broadcast(self: &Rc<Self>, sim: &mut Sim, span: SpanId, req: Request, done: Responder) {
-        let targets: Vec<(usize, Rc<dyn Backend>)> = {
-            let mut slots = self.slots.borrow_mut();
+        let targets: Vec<usize> = {
+            let slots = self.slots.borrow();
             slots
-                .iter_mut()
+                .iter()
                 .enumerate()
                 .filter(|(_, s)| !s.draining)
-                .map(|(i, s)| {
-                    s.outstanding += 1;
-                    (i, Rc::clone(&s.backend))
-                })
+                .map(|(i, _)| i)
                 .collect()
         };
         if targets.is_empty() {
-            // nothing incremented: filter matched no slot
             self.shed(sim, span, "no replicas in rotation", done);
             return;
         }
@@ -319,21 +495,29 @@ impl Dispatcher {
         let remaining = Rc::new(Cell::new(targets.len()));
         let first_fault: Rc<RefCell<Option<SoapFault>>> = Rc::new(RefCell::new(None));
         let done = Rc::new(RefCell::new(Some(done)));
-        for (_, backend) in targets {
+        // register every branch as an op first (ejecting a target backend
+        // then resolves its branch as a fault instead of hanging the join),
+        // serve after — so a synchronous completion can't shift the indices
+        // we are iterating.
+        let mut branches: Vec<(u64, Rc<dyn Backend>)> = Vec::with_capacity(targets.len());
+        for i in targets {
             let this = Rc::clone(self);
-            let name = backend.name().to_owned();
             let remaining = Rc::clone(&remaining);
             let first_fault = Rc::clone(&first_fault);
             let done = Rc::clone(&done);
-            let prev = sim.set_span_parent(span);
-            backend.serve(
+            let (op_id, backend, _) = self.register_op(
                 sim,
-                req.clone(),
-                Box::new(move |sim, res| {
+                i,
+                Box::new(move |sim, outcome| {
+                    let res = match outcome {
+                        OpOutcome::Answered(res) => res,
+                        OpOutcome::BackendLost(lost) => Err(SoapFault::server(&format!(
+                            "replica {lost} lost during upload"
+                        ))),
+                    };
                     if let Err(f) = res {
                         first_fault.borrow_mut().get_or_insert(f);
                     }
-                    this.backend_done(sim, &name);
                     remaining.set(remaining.get() - 1);
                     if remaining.get() == 0 {
                         let ok = first_fault.borrow().is_none();
@@ -346,8 +530,152 @@ impl Dispatcher {
                     }
                 }),
             );
+            branches.push((op_id, backend));
+        }
+        for (op_id, backend) in branches {
+            let this = Rc::clone(self);
+            let prev = sim.set_span_parent(span);
+            backend.serve(
+                sim,
+                req.clone(),
+                Box::new(move |sim, res| this.op_answered(sim, op_id, res)),
+            );
             sim.set_span_parent(prev);
         }
+    }
+
+    // -- op table -----------------------------------------------------------
+
+    /// Register one attempt on the slot at `idx`: allocate an op id, note
+    /// it on the slot, arm the watchdog. Returns `(op id, backend, whether
+    /// the attempt queued behind other work on that backend)`.
+    fn register_op(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        idx: usize,
+        complete: OpComplete,
+    ) -> (u64, Rc<dyn Backend>, bool) {
+        let op_id = self.next_op.get();
+        self.next_op.set(op_id + 1);
+        let (backend, queued) = {
+            let mut slots = self.slots.borrow_mut();
+            let slot = &mut slots[idx];
+            slot.ops.push(op_id);
+            (Rc::clone(&slot.backend), slot.ops.len() > 1)
+        };
+        let timeout = self.cfg.request_timeout.map(|t| {
+            let this = Rc::clone(self);
+            sim.schedule(t, move |sim| this.op_timed_out(sim, op_id))
+        });
+        self.ops.borrow_mut().insert(
+            op_id,
+            PendingOp {
+                backend: backend.name().to_owned(),
+                complete,
+                timeout,
+            },
+        );
+        (op_id, backend, queued)
+    }
+
+    /// A backend's `done` fired. Stale ops (already resolved by an eject)
+    /// are dropped here — this is what makes a dead replica's late answer
+    /// a no-op instead of a double-settle.
+    fn op_answered(self: &Rc<Self>, sim: &mut Sim, op_id: u64, res: Result<SoapValue, SoapFault>) {
+        let Some(op) = self.take_op(sim, op_id) else {
+            return; // zombie response from an ejected backend
+        };
+        // fault-signal detection: an error from a backend that reports
+        // unhealthy is a loss, not an application fault
+        let lost = res.is_err() && !self.backend_healthy(&op.backend);
+        let outcome = if lost {
+            OpOutcome::BackendLost(op.backend.clone())
+        } else {
+            OpOutcome::Answered(res)
+        };
+        (op.complete)(sim, outcome);
+    }
+
+    /// Remove an op from the table and its slot; cancels the watchdog and
+    /// retires a draining slot that just went idle. `None` if the op was
+    /// already resolved.
+    fn take_op(&self, sim: &mut Sim, op_id: u64) -> Option<PendingOp> {
+        let op = self.ops.borrow_mut().remove(&op_id)?;
+        if let Some(ev) = op.timeout {
+            sim.cancel_event(ev);
+        }
+        let retire = {
+            let mut slots = self.slots.borrow_mut();
+            match slots.iter_mut().find(|s| s.ops.contains(&op_id)) {
+                None => false, // slot already ejected
+                Some(slot) => {
+                    slot.ops.retain(|&o| o != op_id);
+                    slot.draining && slot.ops.is_empty()
+                }
+            }
+        };
+        if retire {
+            self.retire(sim, &op.backend);
+        }
+        Some(op)
+    }
+
+    /// Watchdog: an attempt went unanswered for `request_timeout`. The
+    /// whole backend is suspect — eject it, which resolves this op and
+    /// every other op outstanding on it as lost.
+    fn op_timed_out(self: &Rc<Self>, sim: &mut Sim, op_id: u64) {
+        let name = match self.ops.borrow().get(&op_id) {
+            Some(op) => op.backend.clone(),
+            None => return,
+        };
+        sim.counter_add("dispatcher.timeout", 1);
+        self.eject_backend(sim, &name);
+    }
+
+    /// Does the named backend report healthy? Unknown backends (already
+    /// ejected) count as unhealthy.
+    fn backend_healthy(&self, name: &str) -> bool {
+        self.slots
+            .borrow()
+            .iter()
+            .find(|s| s.backend.name() == name)
+            .is_some_and(|s| s.backend.healthy())
+    }
+
+    /// Throw a backend out of rotation *now*, no drain: the involuntary
+    /// loss path. Every op outstanding on it resolves as lost — retried
+    /// for invocations, faulted for upload branches — and any answer the
+    /// dead backend produces later is dropped. The drain hook does NOT
+    /// fire (nothing drained); the owner handles teardown itself. Returns
+    /// `false` if no backend has that name.
+    pub fn eject_backend(self: &Rc<Self>, sim: &mut Sim, name: &str) -> bool {
+        let lost_ops: Vec<u64> = {
+            let mut slots = self.slots.borrow_mut();
+            match slots.iter().position(|s| s.backend.name() == name) {
+                None => return false,
+                Some(i) => slots.remove(i).ops,
+            }
+        };
+        self.counters.borrow_mut().ejected += 1;
+        sim.counter_add("dispatcher.ejected", 1);
+        let mut resolved: Vec<PendingOp> = Vec::with_capacity(lost_ops.len());
+        {
+            let mut ops = self.ops.borrow_mut();
+            for id in lost_ops {
+                if let Some(op) = ops.remove(&id) {
+                    resolved.push(op);
+                }
+            }
+        }
+        // borrows dropped: completions may re-enter the dispatcher
+        for op in resolved {
+            if let Some(ev) = op.timeout {
+                sim.cancel_event(ev);
+            }
+            let name = op.backend.clone();
+            (op.complete)(sim, OpOutcome::BackendLost(name));
+        }
+        true
     }
 
     /// Deterministic replica choice; `None` when nothing is in rotation.
@@ -371,7 +699,7 @@ impl Dispatcher {
             Policy::LeastOutstanding => {
                 let mut best = live[0];
                 for &i in &live[1..] {
-                    if slots[i].outstanding < slots[best].outstanding {
+                    if slots[i].outstanding() < slots[best].outstanding() {
                         best = i;
                     }
                 }
@@ -401,30 +729,6 @@ impl Dispatcher {
         })
     }
 
-    /// One admitted invocation finished on `name`.
-    fn settle(&self, sim: &mut Sim, name: &str, span: SpanId, ok: bool) {
-        self.backend_done(sim, name);
-        self.close_front_door(sim, span, ok);
-    }
-
-    /// Per-backend bookkeeping for one finished request; retires the slot
-    /// if it was draining and just went idle.
-    fn backend_done(&self, sim: &mut Sim, name: &str) {
-        let retire = {
-            let mut slots = self.slots.borrow_mut();
-            match slots.iter_mut().find(|s| s.backend.name() == name) {
-                None => false, // already retired (duplicate name impossible per fleet)
-                Some(slot) => {
-                    slot.outstanding -= 1;
-                    slot.draining && slot.outstanding == 0
-                }
-            }
-        };
-        if retire {
-            self.retire(sim, name);
-        }
-    }
-
     /// Front-door bookkeeping for one finished request.
     fn close_front_door(&self, sim: &mut Sim, span: SpanId, ok: bool) {
         self.in_flight.set(self.in_flight.get() - 1);
@@ -446,7 +750,7 @@ impl Dispatcher {
     fn retire(&self, sim: &mut Sim, name: &str) {
         self.slots
             .borrow_mut()
-            .retain(|s| !(s.draining && s.outstanding == 0 && s.backend.name() == name));
+            .retain(|s| !(s.draining && s.ops.is_empty() && s.backend.name() == name));
         let hook = self.drain_hook.borrow_mut().take();
         if let Some(hook) = hook {
             hook(sim, name);
@@ -512,6 +816,7 @@ mod tests {
         let d = Dispatcher::new(DispatcherConfig {
             policy: Policy::RoundRobin,
             max_in_flight: 16,
+            ..DispatcherConfig::default()
         });
         let (a, b) = (Echo::new("a", 10), Echo::new("b", 10));
         d.add_backend(a.clone());
@@ -532,6 +837,7 @@ mod tests {
         let d = Dispatcher::new(DispatcherConfig {
             policy: Policy::LeastOutstanding,
             max_in_flight: 16,
+            ..DispatcherConfig::default()
         });
         // a is slow, so it stays loaded; b should absorb the burst
         let (a, b) = (Echo::new("a", 10_000), Echo::new("b", 10));
@@ -557,6 +863,7 @@ mod tests {
         let d = Dispatcher::new(DispatcherConfig {
             policy: Policy::RoundRobin,
             max_in_flight: 2,
+            ..DispatcherConfig::default()
         });
         d.add_backend(Echo::new("a", 1000));
         let shed_seen = Rc::new(Cell::new(0u32));
@@ -634,6 +941,7 @@ mod tests {
         let d = Dispatcher::new(DispatcherConfig {
             policy: Policy::RoundRobin,
             max_in_flight: 8,
+            ..DispatcherConfig::default()
         });
         let (a, b) = (Echo::new("a", 500), Echo::new("b", 500));
         d.add_backend(a.clone());
@@ -674,6 +982,7 @@ mod tests {
         let d = Dispatcher::new(DispatcherConfig {
             policy: Policy::LeastOutstanding,
             max_in_flight: 4,
+            ..DispatcherConfig::default()
         });
         let bad = Echo {
             name: "bad".into(),
@@ -698,5 +1007,273 @@ mod tests {
         assert_eq!(c.accepted + c.shed, 10);
         assert_eq!(c.accepted, c.completed + c.faulted);
         assert_eq!(d.in_flight(), 0);
+    }
+
+    /// Accepts requests and never answers them — a hung/dead backend.
+    struct BlackHole {
+        name: String,
+        served: Cell<u64>,
+        swallowed: RefCell<Vec<Responder>>,
+    }
+
+    impl BlackHole {
+        fn new(name: &str) -> Rc<BlackHole> {
+            Rc::new(BlackHole {
+                name: name.into(),
+                served: Cell::new(0),
+                swallowed: RefCell::new(Vec::new()),
+            })
+        }
+    }
+
+    impl Backend for BlackHole {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn serve(&self, _sim: &mut Sim, _req: Request, done: Responder) {
+            self.served.set(self.served.get() + 1);
+            self.swallowed.borrow_mut().push(done);
+        }
+    }
+
+    fn retrying(policy: Policy, max_retries: u32) -> DispatcherConfig {
+        DispatcherConfig {
+            policy,
+            max_in_flight: 16,
+            retry: Some(RetryConfig {
+                max_retries,
+                ..RetryConfig::default()
+            }),
+            request_timeout: None,
+        }
+    }
+
+    #[test]
+    fn eject_retries_in_flight_work_on_the_survivor() {
+        let mut sim = Sim::new(31);
+        let d = Dispatcher::new(retrying(Policy::RoundRobin, 3));
+        let hole = BlackHole::new("dead");
+        let good = Echo::new("good", 10);
+        d.add_backend(hole.clone()); // rr: first request lands here
+        d.add_backend(good.clone());
+        let got = Rc::new(Cell::new(0u32));
+        let g = got.clone();
+        d.submit(
+            &mut sim,
+            invoke(),
+            Box::new(move |_, r| {
+                assert!(r.is_ok(), "retried onto the survivor: {r:?}");
+                g.set(g.get() + 1);
+            }),
+        );
+        // the crash arrives while the request is swallowed
+        let d2 = Rc::clone(&d);
+        sim.schedule(Duration::from_millis(50), move |sim| {
+            assert!(d2.eject_backend(sim, "dead"));
+        });
+        sim.run();
+        assert_eq!(got.get(), 1, "answered exactly once");
+        assert_eq!(hole.served.get(), 1);
+        assert_eq!(good.served.get(), 1);
+        let c = d.counters();
+        assert_eq!((c.accepted, c.completed, c.faulted), (1, 1, 0));
+        assert_eq!(c.retried, 1);
+        assert_eq!(c.ejected, 1);
+        assert_eq!(d.live_backends(), 1);
+        assert_eq!(d.in_flight(), 0);
+    }
+
+    #[test]
+    fn zombie_answer_after_eject_is_dropped() {
+        let mut sim = Sim::new(32);
+        let d = Dispatcher::new(retrying(Policy::RoundRobin, 3));
+        let hole = BlackHole::new("dead");
+        let good = Echo::new("good", 10);
+        d.add_backend(hole.clone());
+        d.add_backend(good.clone());
+        let got = Rc::new(Cell::new(0u32));
+        let g = got.clone();
+        d.submit(&mut sim, invoke(), Box::new(move |_, _| g.set(g.get() + 1)));
+        let d2 = Rc::clone(&d);
+        let hole2 = Rc::clone(&hole);
+        sim.schedule(Duration::from_millis(20), move |sim| {
+            d2.eject_backend(sim, "dead");
+            // the dead replica answers *after* the eject resolved the op
+            for done in hole2.swallowed.borrow_mut().drain(..) {
+                done(sim, Ok(SoapValue::Bool(true)));
+            }
+        });
+        sim.run();
+        assert_eq!(got.get(), 1, "the zombie answer did not double-settle");
+        let c = d.counters();
+        assert_eq!(c.accepted, c.completed + c.faulted);
+        assert_eq!(d.in_flight(), 0);
+    }
+
+    #[test]
+    fn retries_exhaust_into_a_soap_fault() {
+        let mut sim = Sim::new(33);
+        // both backends are black holes killed in sequence; cap of 1 retry
+        let d = Dispatcher::new(retrying(Policy::RoundRobin, 1));
+        let (h1, h2) = (BlackHole::new("h1"), BlackHole::new("h2"));
+        d.add_backend(h1.clone());
+        d.add_backend(h2.clone());
+        let fault = Rc::new(Cell::new(false));
+        let f = fault.clone();
+        d.submit(
+            &mut sim,
+            invoke(),
+            Box::new(move |_, r| f.set(r.is_err())),
+        );
+        let d2 = Rc::clone(&d);
+        sim.schedule(Duration::from_millis(10), move |sim| {
+            d2.eject_backend(sim, "h1");
+        });
+        let d3 = Rc::clone(&d);
+        // after the backoff, the retry lands on h2; kill it too
+        sim.schedule(Duration::from_secs(5), move |sim| {
+            d3.eject_backend(sim, "h2");
+        });
+        sim.run();
+        assert!(fault.get(), "cap hit → SOAP fault to the client");
+        let c = d.counters();
+        assert_eq!((c.accepted, c.completed, c.faulted), (1, 0, 1));
+        assert_eq!(c.retried, 1, "exactly the capped retry was attempted");
+    }
+
+    #[test]
+    fn retry_disabled_fail_fasts_the_loss() {
+        let mut sim = Sim::new(34);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            max_in_flight: 16,
+            retry: None,
+            request_timeout: None,
+        });
+        d.add_backend(BlackHole::new("dead"));
+        d.add_backend(Echo::new("good", 10));
+        let fault = Rc::new(Cell::new(false));
+        let f = fault.clone();
+        d.submit(
+            &mut sim,
+            invoke(),
+            Box::new(move |_, r| f.set(r.is_err())),
+        );
+        let d2 = Rc::clone(&d);
+        sim.schedule(Duration::from_millis(10), move |sim| {
+            d2.eject_backend(sim, "dead");
+        });
+        sim.run();
+        assert!(fault.get());
+        let c = d.counters();
+        assert_eq!((c.faulted, c.retried), (1, 0));
+    }
+
+    #[test]
+    fn request_timeout_ejects_the_silent_backend_and_retries() {
+        let mut sim = Sim::new(35);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            max_in_flight: 16,
+            retry: Some(RetryConfig::default()),
+            request_timeout: Some(Duration::from_secs(10)),
+        });
+        let hole = BlackHole::new("silent");
+        let good = Echo::new("good", 10);
+        d.add_backend(hole.clone());
+        d.add_backend(good.clone());
+        let got = Rc::new(Cell::new(0u32));
+        let g = got.clone();
+        d.submit(
+            &mut sim,
+            invoke(),
+            Box::new(move |_, r| {
+                assert!(r.is_ok());
+                g.set(g.get() + 1);
+            }),
+        );
+        sim.run();
+        assert_eq!(got.get(), 1, "watchdog fired, retry landed on survivor");
+        assert_eq!(d.live_backends(), 1, "silent backend was ejected");
+        let c = d.counters();
+        assert_eq!((c.completed, c.retried, c.ejected), (1, 1, 1));
+    }
+
+    #[test]
+    fn timeout_does_not_fire_for_answered_requests() {
+        let mut sim = Sim::new(36);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            max_in_flight: 16,
+            retry: Some(RetryConfig::default()),
+            request_timeout: Some(Duration::from_secs(10)),
+        });
+        d.add_backend(Echo::new("a", 100)); // answers well inside the window
+        for _ in 0..5 {
+            d.submit(&mut sim, invoke(), Box::new(|_, r| assert!(r.is_ok())));
+        }
+        sim.run();
+        let c = d.counters();
+        assert_eq!((c.completed, c.ejected, c.retried), (5, 0, 0));
+        assert_eq!(d.live_backends(), 1);
+    }
+
+    #[test]
+    fn eject_mid_broadcast_faults_the_upload_join() {
+        let mut sim = Sim::new(37);
+        let d = Dispatcher::new(retrying(Policy::RoundRobin, 3));
+        let hole = BlackHole::new("dead");
+        let good = Echo::new("good", 10);
+        d.add_backend(hole.clone());
+        d.add_backend(good.clone());
+        let got = Rc::new(Cell::new(0u32));
+        let g = got.clone();
+        d.submit(
+            &mut sim,
+            Request::Upload {
+                file_name: "f.exe".into(),
+                len: 64,
+                profile: ExecutionProfile::quick(),
+            },
+            Box::new(move |_, r| {
+                // uploads are at-most-once: the lost branch faults the join
+                assert!(r.is_err());
+                g.set(g.get() + 1);
+            }),
+        );
+        let d2 = Rc::clone(&d);
+        sim.schedule(Duration::from_millis(20), move |sim| {
+            d2.eject_backend(sim, "dead");
+        });
+        sim.run();
+        assert_eq!(got.get(), 1, "join answered exactly once despite the loss");
+        let c = d.counters();
+        assert_eq!(c.accepted, c.completed + c.faulted);
+        assert_eq!((c.faulted, c.retried), (1, 0));
+        assert_eq!(d.in_flight(), 0);
+    }
+
+    #[test]
+    fn ejecting_every_backend_sheds_new_arrivals() {
+        let mut sim = Sim::new(38);
+        let d = Dispatcher::new(retrying(Policy::RoundRobin, 3));
+        d.add_backend(Echo::new("only", 10));
+        let d2 = Rc::clone(&d);
+        sim.schedule(Duration::from_millis(5), move |sim| {
+            d2.eject_backend(sim, "only");
+        });
+        let d3 = Rc::clone(&d);
+        let shed = Rc::new(Cell::new(false));
+        let s = shed.clone();
+        sim.schedule(Duration::from_millis(10), move |sim| {
+            d3.submit(
+                sim,
+                invoke(),
+                Box::new(move |_, r| s.set(r.is_err())),
+            );
+        });
+        sim.run();
+        assert!(shed.get(), "no backends at all → immediate SOAP fault");
+        assert_eq!(d.counters().shed, 1);
     }
 }

@@ -14,7 +14,7 @@
 //! database I/O serializes on its disk); [`StorageTopology::Replicated`]
 //! gives each replica its own store on its own appliance disk.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -101,6 +101,9 @@ struct Replica {
     appliance: Rc<Appliance>,
     deployment: Option<Rc<Deployment>>,
     retired: bool,
+    /// Shared with the [`ReplicaBackend`]; flipped by
+    /// [`Fleet::crash_replica`] so late responses read as a dead peer.
+    crashed: Rc<Cell<bool>>,
     boot_span: SpanId,
 }
 
@@ -111,6 +114,7 @@ struct Inner {
     booting: usize,
     booted: u64,
     retired: u64,
+    lost: u64,
     /// Front-end UDDI key per service name.
     service_keys: BTreeMap<String, String>,
 }
@@ -159,6 +163,7 @@ impl Fleet {
                 booting: 0,
                 booted: 0,
                 retired: 0,
+                lost: 0,
                 service_keys: BTreeMap::new(),
             }),
         });
@@ -232,9 +237,27 @@ impl Fleet {
         self.inner.borrow().booted
     }
 
-    /// Replicas drained and destroyed.
+    /// Replicas drained and destroyed (voluntary scale-down only).
     pub fn retired_total(&self) -> u64 {
         self.inner.borrow().retired
+    }
+
+    /// Replicas lost to crashes ([`Fleet::crash_replica`]) — disjoint from
+    /// [`Fleet::retired_total`], so the autoscaler can tell involuntary
+    /// loss from its own scale-downs.
+    pub fn lost_total(&self) -> u64 {
+        self.inner.borrow().lost
+    }
+
+    /// Names of the replicas serving traffic right now, in boot order.
+    pub fn active_replica_names(&self) -> Vec<String> {
+        self.inner
+            .borrow()
+            .replicas
+            .iter()
+            .filter(|r| r.deployment.is_some() && !r.retired)
+            .map(|r| r.name.clone())
+            .collect()
     }
 
     /// Boot one more replica; it joins the rotation after image copy, VM
@@ -265,8 +288,39 @@ impl Fleet {
             appliance,
             deployment: None,
             retired: false,
+            crashed: Rc::new(Cell::new(false)),
             boot_span,
         });
+    }
+
+    /// Kill an active replica with no drain: the VM is hard-destroyed
+    /// ([`Appliance::destroy_now`]), its front-end bindings vanish, and the
+    /// dispatcher ejects it — resolving every in-flight request on it as a
+    /// backend loss (retried on survivors when retry is enabled). Returns
+    /// `false` if `name` is not an active replica.
+    pub fn crash_replica(self: &Rc<Self>, sim: &mut Sim, name: &str) -> bool {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let Some(replica) = inner
+                .replicas
+                .iter_mut()
+                .find(|r| r.name == name && r.deployment.is_some() && !r.retired)
+            else {
+                return false;
+            };
+            replica.retired = true;
+            replica.crashed.set(true);
+            replica.deployment = None;
+            let _ = replica.appliance.destroy_now();
+            inner.lost += 1;
+        }
+        let span = sim.span_begin("fleet.replica_lost");
+        sim.span_attr(span, "replica", name.to_owned());
+        sim.counter_add("fleet.replica_lost", 1);
+        self.unadvertise(name);
+        self.dispatcher.eject_backend(sim, name);
+        sim.span_end(span);
+        true
     }
 
     /// Take the newest active replica out of rotation: stop advertising
@@ -468,7 +522,7 @@ impl Fleet {
     /// Put a provisioned replica into the rotation and advertise it.
     fn activate(self: Rc<Self>, sim: &mut Sim, id: usize, d: Rc<Deployment>) {
         let expected = format!("{}{}", self.base.appliance_name, id);
-        let (name, services, boot_span) = {
+        let (name, services, boot_span, crashed) = {
             let mut inner = self.inner.borrow_mut();
             inner.booting -= 1;
             inner.booted += 1;
@@ -483,7 +537,12 @@ impl Fleet {
                 .find(|r| r.name == expected)
                 .expect("booting replica present");
             replica.deployment = Some(Rc::clone(&d));
-            (replica.name.clone(), services, replica.boot_span)
+            (
+                replica.name.clone(),
+                services,
+                replica.boot_span,
+                Rc::clone(&replica.crashed),
+            )
         };
         sim.counter_add("fleet.booted", 1);
         sim.span_end(boot_span);
@@ -493,6 +552,7 @@ impl Fleet {
         self.dispatcher.add_backend(Rc::new(ReplicaBackend {
             name,
             deployment: d,
+            crashed,
         }));
     }
 
@@ -526,6 +586,7 @@ fn access_point(replica: &str, service: &str) -> String {
 struct ReplicaBackend {
     name: String,
     deployment: Rc<Deployment>,
+    crashed: Rc<Cell<bool>>,
 }
 
 impl Backend for ReplicaBackend {
@@ -533,7 +594,20 @@ impl Backend for ReplicaBackend {
         &self.name
     }
 
+    fn healthy(&self) -> bool {
+        !self.crashed.get()
+    }
+
     fn serve(&self, sim: &mut Sim, req: Request, done: Responder) {
+        if self.crashed.get() {
+            // connection refused: the VM behind this endpoint is gone
+            let name = self.name.clone();
+            done(
+                sim,
+                Err(SoapFault::server(&format!("replica {name} unreachable"))),
+            );
+            return;
+        }
         match req {
             Request::Invoke { service, args } => {
                 let refs: Vec<(&str, wsstack::SoapValue)> =
@@ -695,6 +769,56 @@ mod tests {
         // the last replica can never be retired
         assert!(!fleet.scale_down(&mut sim));
         assert_eq!(fleet.active_replicas(), 1);
+    }
+
+    #[test]
+    fn crash_mid_request_retries_on_the_survivor() {
+        let mut sim = Sim::new(15);
+        let fleet = Fleet::new(&mut sim, spec(StorageTopology::Replicated, 2));
+        sim.run();
+        fleet.publish(
+            &mut sim,
+            "slow.exe",
+            1024 * 1024,
+            ExecutionProfile::quick().lasting(Duration::from_secs(60)),
+            |_| {},
+        );
+        sim.run();
+        // one long request per replica, then kill one replica mid-flight
+        let ok = Rc::new(Cell::new(0u32));
+        for _ in 0..2 {
+            let ok = Rc::clone(&ok);
+            fleet.dispatcher().clone().submit(
+                &mut sim,
+                invoke("slow"),
+                Box::new(move |_, res| {
+                    assert!(res.is_ok(), "request survived the crash: {res:?}");
+                    ok.set(ok.get() + 1);
+                }),
+            );
+        }
+        let fleet2 = Rc::clone(&fleet);
+        sim.schedule(Duration::from_secs(5), move |sim| {
+            let victim = fleet2.active_replica_names()[0].clone();
+            assert!(fleet2.crash_replica(sim, &victim));
+            assert!(
+                !fleet2.crash_replica(sim, &victim),
+                "double-kill is refused"
+            );
+        });
+        sim.run();
+        assert_eq!(ok.get(), 2, "both requests completed despite the crash");
+        assert_eq!(fleet.active_replicas(), 1);
+        assert_eq!(fleet.lost_total(), 1);
+        assert_eq!(fleet.retired_total(), 0);
+        let c = fleet.dispatcher().counters();
+        assert_eq!((c.accepted, c.completed, c.faulted), (2, 2, 0));
+        assert_eq!(c.retried, 1);
+        assert_eq!(c.ejected, 1);
+        // the dead replica's front-end bindings are gone
+        let registry = fleet.registry();
+        let mut registry = registry.borrow_mut();
+        assert_eq!(registry.find("slow")[0].bindings.len(), 1);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   with the storage topology switch §VIII-D demands: one shared
 //!   blobstore host vs a replicated per-appliance store.
 //! * [`autoscaler`] — a sampling control loop with cooldown and
-//!   boot-latency awareness that never scales below one replica.
+//!   boot-latency awareness that never scales below one replica, and
+//!   replaces crash-lost capacity outside the cooldown.
+//! * [`chaos`] — materializes a `simkit` fault plan's crash schedule
+//!   against the fleet: seeded, replayable replica kills with no drain.
 //!
 //! ## Quick start
 //!
@@ -43,13 +46,16 @@
 //! ```
 
 pub mod autoscaler;
+pub mod chaos;
 pub mod dispatcher;
 pub mod fleet;
 pub mod workload;
 
 pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleAction, ScaleDecision};
+pub use chaos::ChaosMonkey;
 pub use dispatcher::{
     Backend, DispatchCounters, Dispatcher, DispatcherConfig, Policy, Request, Responder,
+    RetryConfig,
 };
 pub use fleet::{Fleet, FleetSpec, StorageTopology};
 pub use workload::{

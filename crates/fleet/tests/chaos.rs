@@ -1,0 +1,245 @@
+//! Chaos soak and telemetry coverage for involuntary replica loss.
+//!
+//! The soak drives a seeded 10 000-request closed loop against a fleet
+//! under Poisson replica crashes with autoscaler replacement, and asserts
+//! *request conservation*: every issued request is answered exactly once
+//! (completed or faulted) — crashes may cost goodput, never answers. The
+//! same run twice must produce an identical fingerprint, byte-for-byte
+//! determinism being what makes a chaos schedule a reproducible test
+//! fixture rather than flake.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use fleet::{
+    Autoscaler, AutoscalerConfig, ChaosMonkey, Fleet, FleetSpec, Policy, Request, StorageTopology,
+};
+use onserve::profile::ExecutionProfile;
+use simkit::fault::FaultPlan;
+use simkit::telemetry::{validate_chrome_trace, AttrValue};
+use simkit::{Duration, Rng, Sim, MB};
+use vappliance::ApplianceImage;
+
+fn image() -> ApplianceImage {
+    ApplianceImage {
+        name: "onserve".into(),
+        bytes: 600.0 * MB,
+        boot_services: vec!["mysqld".into(), "tomcat".into(), "juddi".into()],
+        recipe_fingerprint: 1,
+    }
+}
+
+fn chaos_fleet(sim: &mut Sim, replicas: usize) -> Rc<Fleet> {
+    let mut spec = FleetSpec::with_image(image());
+    spec.topology = StorageTopology::Replicated;
+    spec.initial_replicas = replicas;
+    spec.dispatcher.policy = Policy::RoundRobin;
+    spec.dispatcher.max_in_flight = 256;
+    Fleet::new(sim, spec)
+}
+
+/// Everything the soak measures; two same-seed runs must agree exactly.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    completed: u64,
+    faulted: u64,
+    shed: u64,
+    retried: u64,
+    ejected: u64,
+    lost: u64,
+    booted: u64,
+    end_ticks: u64,
+}
+
+const SOAK_TOTAL: u64 = 10_000;
+const SOAK_USERS: usize = 40;
+
+struct Tally {
+    issued: Cell<u64>,
+    completed: Cell<u64>,
+    faulted: Cell<u64>,
+}
+
+fn spawn_user(sim: &mut Sim, fleet: Rc<Fleet>, tally: Rc<Tally>, rng: Rc<RefCell<Rng>>) {
+    let think = Duration::from_millis(rng.borrow_mut().range(50, 400));
+    sim.schedule(think, move |sim| {
+        if tally.issued.get() >= SOAK_TOTAL {
+            return; // population drains once the budget is spent
+        }
+        tally.issued.set(tally.issued.get() + 1);
+        let dispatcher = Rc::clone(fleet.dispatcher());
+        let t2 = Rc::clone(&tally);
+        let f2 = Rc::clone(&fleet);
+        let r2 = Rc::clone(&rng);
+        dispatcher.submit(
+            sim,
+            Request::Invoke {
+                service: "app".into(),
+                args: Vec::new(),
+            },
+            Box::new(move |sim, res| {
+                match res {
+                    Ok(_) => t2.completed.set(t2.completed.get() + 1),
+                    Err(_) => t2.faulted.set(t2.faulted.get() + 1),
+                }
+                spawn_user(sim, f2, t2, r2);
+            }),
+        );
+    });
+}
+
+fn soak(seed: u64) -> Fingerprint {
+    let mut sim = Sim::new(seed);
+    let fleet = chaos_fleet(&mut sim, 3);
+    sim.run();
+    fleet.publish(
+        &mut sim,
+        "app.exe",
+        64 * 1024,
+        ExecutionProfile::quick()
+            .lasting(Duration::from_millis(500))
+            .producing(16.0 * 1024.0),
+        |_| {},
+    );
+    sim.run();
+    // replacement-only autoscaler: crash loss is re-ordered, load is not
+    let until = sim.now() + Duration::from_secs(3600);
+    let _scaler = Autoscaler::install(
+        &mut sim,
+        &fleet,
+        AutoscalerConfig {
+            interval: Duration::from_secs(10),
+            cooldown: Duration::from_secs(60),
+            scale_up_load: f64::INFINITY,
+            scale_down_load: 0.0,
+            min_replicas: 3,
+            max_replicas: 6,
+        },
+        until,
+    );
+    let plan = FaultPlan::new(seed)
+        .poisson_crashes(Duration::from_secs(120), Duration::from_secs(600));
+    let monkey = ChaosMonkey::unleash(&mut sim, &fleet, &plan);
+    let tally = Rc::new(Tally {
+        issued: Cell::new(0),
+        completed: Cell::new(0),
+        faulted: Cell::new(0),
+    });
+    let rng = Rc::new(RefCell::new(sim.rng().fork()));
+    for _ in 0..SOAK_USERS {
+        spawn_user(&mut sim, Rc::clone(&fleet), Rc::clone(&tally), Rc::clone(&rng));
+    }
+    sim.run();
+
+    // conservation: 10k issued, every one answered exactly once
+    assert_eq!(tally.issued.get(), SOAK_TOTAL);
+    assert_eq!(
+        tally.completed.get() + tally.faulted.get(),
+        SOAK_TOTAL,
+        "requests lost: neither completed nor faulted"
+    );
+    let c = fleet.dispatcher().counters();
+    assert_eq!(c.accepted + c.shed, SOAK_TOTAL, "door ledger");
+    assert_eq!(c.accepted, c.completed + c.faulted, "outcome ledger");
+    assert_eq!(fleet.dispatcher().in_flight(), 0, "nothing stuck in flight");
+    assert_eq!(monkey.landed(), fleet.lost_total());
+    assert!(
+        monkey.landed() >= 2,
+        "the Poisson schedule should land several crashes, got {}",
+        monkey.landed()
+    );
+    assert_eq!(
+        fleet.lost_total() + fleet.retired_total(),
+        fleet.lost_total(),
+        "nothing was voluntarily retired in this scenario"
+    );
+    // the fleet healed: replacements restored the floor
+    assert!(fleet.active_replicas() >= 3);
+    Fingerprint {
+        completed: tally.completed.get(),
+        faulted: tally.faulted.get(),
+        shed: c.shed,
+        retried: c.retried,
+        ejected: c.ejected,
+        lost: fleet.lost_total(),
+        booted: fleet.booted_total(),
+        end_ticks: sim.now().ticks(),
+    }
+}
+
+#[test]
+fn soak_10k_requests_conserved_under_poisson_crashes_and_deterministic() {
+    const SEED: u64 = 0x50a4;
+    let first = soak(SEED);
+    let second = soak(SEED);
+    assert_eq!(first, second, "same-seed chaos soak must replay exactly");
+    assert!(first.lost > 0, "chaos actually happened: {first:?}");
+    assert!(
+        first.completed > SOAK_TOTAL * 9 / 10,
+        "retry should keep goodput high: {first:?}"
+    );
+}
+
+/// Crash → eject → retry → success leaves a causal telemetry trail naming
+/// the dead replica, and the export stays strictly well-formed.
+#[test]
+fn crash_retry_success_emits_replica_lost_and_retry_spans() {
+    let mut sim = Sim::new(77);
+    sim.enable_telemetry();
+    let fleet = chaos_fleet(&mut sim, 2);
+    sim.run();
+    fleet.publish(
+        &mut sim,
+        "slow.exe",
+        1024 * 1024,
+        ExecutionProfile::quick().lasting(Duration::from_secs(30)),
+        |_| {},
+    );
+    sim.run();
+    // occupy both replicas, then kill replica0 mid-flight
+    let ok = Rc::new(Cell::new(0u32));
+    for _ in 0..2 {
+        let ok = Rc::clone(&ok);
+        fleet.dispatcher().clone().submit(
+            &mut sim,
+            Request::Invoke {
+                service: "slow".into(),
+                args: Vec::new(),
+            },
+            Box::new(move |_, res| {
+                assert!(res.is_ok(), "{res:?}");
+                ok.set(ok.get() + 1);
+            }),
+        );
+    }
+    let victim = fleet.active_replica_names()[0].clone();
+    let fleet2 = Rc::clone(&fleet);
+    let v2 = victim.clone();
+    sim.schedule(Duration::from_secs(5), move |sim| {
+        assert!(fleet2.crash_replica(sim, &v2));
+    });
+    sim.run();
+    assert_eq!(ok.get(), 2);
+
+    let t = sim.telemetry().expect("telemetry on");
+    let dead = AttrValue::Str(victim.clone());
+    // the fleet recorded the loss, attributed to the dead replica
+    let lost = t.spans_named("fleet.replica_lost");
+    assert_eq!(lost.len(), 1);
+    let lost_rec = t.span(lost[0]).expect("resolvable");
+    assert_eq!(lost_rec.attr("replica"), Some(&dead));
+    assert!(lost_rec.end.is_some(), "fleet.replica_lost never closed");
+    // the dispatcher retried the in-flight request, blaming the same
+    // replica, under the original request span
+    let retries = t.spans_named("dispatcher.retry");
+    assert!(!retries.is_empty(), "no dispatcher.retry span");
+    for id in retries {
+        let rec = t.span(id).expect("resolvable");
+        assert_eq!(rec.attr("replica"), Some(&dead));
+        assert!(rec.end.is_some(), "retry span never closed");
+        assert_ne!(rec.parent, simkit::SpanId::NONE, "retry span is parented");
+    }
+    let check = validate_chrome_trace(&sim.export_chrome_trace()).expect("well-formed trace");
+    assert!(check.events > 0);
+    assert_eq!(check.begins, check.ends, "unbalanced B/E events");
+}

@@ -6,13 +6,15 @@
 //! speeds, fault injection, admission limits, and mid-run scale-downs, for
 //! every routing policy.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
-use fleet::{Backend, Dispatcher, DispatcherConfig, Policy, Request, Responder};
+use fleet::{Backend, Dispatcher, DispatcherConfig, Policy, Request, Responder, RetryConfig};
 use onserve::profile::ExecutionProfile;
 use proptest::prelude::*;
-use simkit::{Duration, Sim};
+use simkit::fault::FaultPlan;
+use simkit::{Duration, Sim, SimTime, SpanId};
 use wsstack::{SoapFault, SoapValue};
 
 /// Test double: serves after a fixed delay, optionally always faulting.
@@ -58,7 +60,11 @@ proptest! {
     ) {
         for policy in Policy::ALL {
             let mut sim = Sim::new(0xd15);
-            let d = Dispatcher::new(DispatcherConfig { policy, max_in_flight });
+            let d = Dispatcher::new(DispatcherConfig {
+                policy,
+                max_in_flight,
+                ..DispatcherConfig::default()
+            });
             for (i, &(delay_ms, fault)) in backends.iter().enumerate() {
                 d.add_backend(Rc::new(Echo {
                     name: format!("r{i}"),
@@ -118,6 +124,7 @@ proptest! {
         let d = Dispatcher::new(DispatcherConfig {
             policy: Policy::LeastOutstanding,
             max_in_flight,
+            ..DispatcherConfig::default()
         });
         d.add_backend(Rc::new(Echo {
             name: "r0".into(),
@@ -145,5 +152,129 @@ proptest! {
             max_in_flight
         );
         prop_assert_eq!(d.in_flight(), 0);
+    }
+
+    /// Under an arbitrary seeded fault plan (Poisson crash schedule mapped
+    /// onto backends) and every routing policy, with retry enabled:
+    ///
+    /// 1. the dispatcher never routes work to a backend after its eject —
+    ///    no serve call carries a timestamp past the crash instant;
+    /// 2. no request is retried more than `max_retries` times (counted per
+    ///    request span from the `dispatcher.retry` telemetry trail);
+    ///
+    /// and conservation still holds on top of the chaos.
+    #[test]
+    fn fault_plans_never_reach_ejected_backends_and_retries_stay_capped(
+        seed in any::<u64>(),
+        mean_gap_ms in 100u64..1_500,
+        n_backends in 2usize..5,
+        arrivals in proptest::collection::vec(0u64..2_000, 1..40),
+        max_retries in 0u32..4,
+    ) {
+        for policy in Policy::ALL {
+            let mut sim = Sim::new(seed);
+            sim.enable_telemetry();
+            let d = Dispatcher::new(DispatcherConfig {
+                policy,
+                max_in_flight: 64,
+                retry: Some(RetryConfig {
+                    max_retries,
+                    base_backoff: Duration::from_millis(50),
+                    max_backoff: Duration::from_millis(400),
+                    jitter: 0.2,
+                }),
+                ..DispatcherConfig::default()
+            });
+            let serves: Vec<Rc<RefCell<Vec<SimTime>>>> =
+                (0..n_backends).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
+            for (i, log) in serves.iter().enumerate() {
+                d.add_backend(Rc::new(StampingEcho {
+                    name: format!("r{i}"),
+                    delay: Duration::from_millis(80),
+                    log: Rc::clone(log),
+                }));
+            }
+            // materialize the plan's crash schedule against backend indices
+            let plan = FaultPlan::new(seed)
+                .poisson_crashes(Duration::from_millis(mean_gap_ms), Duration::from_secs(2));
+            let mut victims = plan.derived_rng(0xe1ec);
+            let mut ejected_at: HashMap<usize, SimTime> = HashMap::new();
+            for offset in plan.crash_times() {
+                let idx = victims.below(n_backends as u64) as usize;
+                let d2 = Rc::clone(&d);
+                let name = format!("r{idx}");
+                sim.schedule(offset, move |sim| {
+                    let _ = d2.eject_backend(sim, &name);
+                });
+                // first eject of an index is the one that counts; later
+                // strikes on the same name are no-ops
+                ejected_at.entry(idx).or_insert(SimTime::ZERO + offset);
+            }
+            let answered = Rc::new(Cell::new(0u64));
+            for &at_ms in &arrivals {
+                let d2 = Rc::clone(&d);
+                let a = Rc::clone(&answered);
+                sim.schedule(Duration::from_millis(at_ms), move |sim| {
+                    d2.submit(
+                        sim,
+                        Request::Invoke { service: "svc".into(), args: Vec::new() },
+                        Box::new(move |_, _| a.set(a.get() + 1)),
+                    );
+                });
+            }
+            sim.run();
+            // 1. no serve after the backend's eject instant
+            for (idx, log) in serves.iter().enumerate() {
+                if let Some(&cutoff) = ejected_at.get(&idx) {
+                    for &t in log.borrow().iter() {
+                        prop_assert!(
+                            t <= cutoff,
+                            "{}: r{idx} served at {:?} after eject at {:?}",
+                            policy.label(), t, cutoff
+                        );
+                    }
+                }
+            }
+            // 2. per-request retry count never exceeds the cap
+            let t = sim.telemetry().expect("telemetry on");
+            let mut per_request: HashMap<SpanId, u32> = HashMap::new();
+            for id in t.spans_named("dispatcher.retry") {
+                let parent = t.span(id).expect("retry span").parent;
+                *per_request.entry(parent).or_insert(0) += 1;
+            }
+            for (req, n) in &per_request {
+                prop_assert!(
+                    *n <= max_retries,
+                    "{}: request span {:?} retried {} times, cap is {}",
+                    policy.label(), req, n, max_retries
+                );
+            }
+            // conservation still holds on top of the chaos
+            let c = d.counters();
+            let total = arrivals.len() as u64;
+            prop_assert_eq!(answered.get(), total, "{}: answered != submitted", policy.label());
+            prop_assert_eq!(c.accepted + c.shed, total, "{}: door ledger", policy.label());
+            prop_assert_eq!(c.accepted, c.completed + c.faulted, "{}: outcome ledger", policy.label());
+            prop_assert_eq!(d.in_flight(), 0, "{}: in-flight after drain", policy.label());
+        }
+    }
+}
+
+/// Test double: serves after a fixed delay, stamping the virtual time of
+/// every serve call so the fault-plan property can prove no work reached
+/// it after its eject.
+struct StampingEcho {
+    name: String,
+    delay: Duration,
+    log: Rc<RefCell<Vec<SimTime>>>,
+}
+
+impl Backend for StampingEcho {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn serve(&self, sim: &mut Sim, _req: Request, done: Responder) {
+        self.log.borrow_mut().push(sim.now());
+        sim.schedule(self.delay, move |sim| done(sim, Ok(SoapValue::Bool(true))));
     }
 }

@@ -448,6 +448,22 @@ impl Gatekeeper {
         ClusterScheduler::cancel(&sched, sim, sched_id);
         Ok(())
     }
+
+    /// Crash-kill a job (a VM hosting it died): the state becomes
+    /// `Done(NodeFailure)` once the scheduler confirms, and the charge is
+    /// refunded like any other failure.
+    pub fn kill(this: &Rc<RefCell<Self>>, sim: &mut Sim, job_no: u64) -> Result<(), GridError> {
+        let sched_id = {
+            let gk = this.borrow();
+            gk.jobs
+                .get(&job_no)
+                .ok_or(GridError::NoSuchJob(job_no))?
+                .sched_id
+        };
+        let sched = Rc::clone(&this.borrow().scheduler);
+        ClusterScheduler::kill(&sched, sim, sched_id);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -785,6 +801,42 @@ mod tests {
         sim.run();
         let alloc = site.gatekeeper().borrow().allocation("/CN=kim").unwrap();
         assert_eq!(alloc.used_core_hours, 0.0);
+    }
+
+    #[test]
+    fn crash_killed_job_reports_node_failure_and_is_refunded() {
+        let mut sim = Sim::new(0);
+        let (site, _cred, ca) = setup(&mut sim);
+        let pat = ca
+            .borrow_mut()
+            .issue("/CN=pat", SimTime::ZERO, Duration::from_secs(86400));
+        site.gatekeeper()
+            .borrow_mut()
+            .grant_with_allocation("/CN=pat", "pat", 5.0);
+        let h = Gatekeeper::submit(
+            site.gatekeeper(),
+            &mut sim,
+            &pat.proxy(),
+            "&(executable=app.exe)(maxWallTime=60)",
+            exec(3000, 4096.0),
+        )
+        .unwrap();
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(site.gatekeeper().borrow().poll(h.job).unwrap(), JobState::Active);
+        Gatekeeper::kill(site.gatekeeper(), &mut sim, h.job).unwrap();
+        assert_eq!(
+            site.gatekeeper().borrow().poll(h.job).unwrap(),
+            JobState::Done(JobOutcome::NodeFailure)
+        );
+        sim.run();
+        // a crash is not the user's fault: charge refunded, no output lands
+        let alloc = site.gatekeeper().borrow().allocation("/CN=pat").unwrap();
+        assert_eq!(alloc.used_core_hours, 0.0);
+        assert!(!site.storage().borrow().has(&h.output_file));
+        assert!(matches!(
+            Gatekeeper::kill(site.gatekeeper(), &mut sim, 999),
+            Err(GridError::NoSuchJob(999))
+        ));
     }
 
     #[test]

@@ -201,6 +201,31 @@ impl ClusterScheduler {
         found
     }
 
+    /// Kill a pending or running job as a crash: its callback fires with
+    /// [`JobOutcome::NodeFailure`] (not `Cancelled` — nobody asked for
+    /// this). Unlike [`ClusterScheduler::fail_node`], only the one job
+    /// dies; the cores it held are released to the queue. Returns `false`
+    /// for unknown/finished ids.
+    pub fn kill(this: &Rc<RefCell<Self>>, sim: &mut Sim, id: SchedJobId) -> bool {
+        let mut cb: Option<DoneFn> = None;
+        {
+            let mut s = this.borrow_mut();
+            if let Some(pos) = s.pending.iter().position(|p| p.id == id) {
+                let mut p = s.pending.remove(pos).expect("present");
+                cb = p.done.take();
+            } else if let Some(mut r) = s.running.remove(&id) {
+                s.release(sim, &r.alloc);
+                cb = r.done.take();
+            }
+        }
+        let found = cb.is_some();
+        if let Some(cb) = cb {
+            cb(sim, JobOutcome::NodeFailure);
+        }
+        Self::try_schedule(this, sim);
+        found
+    }
+
     /// Take a node down: running jobs touching it fail, capacity shrinks.
     pub fn fail_node(this: &Rc<RefCell<Self>>, sim: &mut Sim, node: usize) {
         let mut victims: Vec<DoneFn> = Vec::new();
@@ -620,6 +645,28 @@ mod tests {
             &mut sim,
             SchedJobId(999)
         ));
+    }
+
+    #[test]
+    fn kill_running_job_fails_it_and_frees_cores() {
+        let mut sim = Sim::new(0);
+        let sched = ClusterScheduler::new("c", 1, 2, SchedPolicy::Fcfs);
+        let (log, mk) = finish_recorder();
+        let id = ClusterScheduler::submit(&sched, &mut sim, req(2, 100, 50), mk(&log));
+        ClusterScheduler::submit(&sched, &mut sim, req(2, 100, 10), mk(&log));
+        let s2 = sched.clone();
+        sim.schedule(Duration::from_secs(5), move |sim| {
+            assert!(ClusterScheduler::kill(&s2, sim, id));
+            // already gone: a second kill is a no-op
+            assert!(!ClusterScheduler::kill(&s2, sim, id));
+        });
+        sim.run();
+        let l = log.borrow();
+        // the crash reads as NodeFailure, unlike an operator cancel,
+        // and the freed cores let the successor run immediately
+        assert_eq!(l[0], (5.0, JobOutcome::NodeFailure));
+        assert_eq!(l[1], (15.0, JobOutcome::Completed));
+        assert_eq!(sched.borrow().total_cores(), 2, "no capacity was lost");
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Deterministic fault injection on the virtual clock.
+//!
+//! A [`FaultPlan`] is a *seed plus knobs*: a crash schedule (explicit
+//! offsets or a Poisson process materialized from the seed) and
+//! probabilistic failure rates for the substrate layers (link drops and
+//! jitter, storage write failures). Every draw comes from a generator
+//! derived from the plan seed, so a chaos run is replayable bit-for-bit —
+//! the same seed produces the same crashes at the same virtual instants,
+//! the same dropped transfers, the same failed writes.
+//!
+//! The plan itself is layer-agnostic; higher tiers map it onto their own
+//! victims. `simkit::Link` consumes the network knobs directly
+//! ([`crate::Link::inject_faults`]), the blob store consumes
+//! [`FaultInjector::fail_write`], and the fleet crate turns
+//! [`FaultPlan::crash_times`] into replica kills.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::rng::Rng;
+use crate::time::Duration;
+
+/// When crash events fire, as offsets from the start of the chaos window.
+#[derive(Clone, Debug, Default)]
+pub enum CrashSchedule {
+    /// No crashes.
+    #[default]
+    None,
+    /// Explicit offsets (kept sorted by [`FaultPlan::crash_times`]).
+    At(Vec<Duration>),
+    /// Memoryless crashes: exponential gaps with the given mean, drawn
+    /// from the plan seed, until `horizon` is exceeded.
+    Poisson {
+        /// Mean gap between consecutive crashes.
+        mean_gap: Duration,
+        /// Stop generating crashes past this offset.
+        horizon: Duration,
+    },
+}
+
+/// Probabilistic substrate-fault rates. All default to "off".
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Probability that one link transfer pass is dropped and must be
+    /// retransmitted after [`FaultConfig::link_retransmit`].
+    pub link_drop_p: f64,
+    /// Retransmit timeout charged per dropped pass.
+    pub link_retransmit: Duration,
+    /// Mean of an exponentially-distributed extra delivery delay added to
+    /// every link transfer ([`Duration::ZERO`] disables jitter).
+    pub link_extra_delay_mean: Duration,
+    /// Probability that one blob-store write fails after its disk work.
+    pub write_fail_p: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            link_drop_p: 0.0,
+            link_retransmit: Duration::from_millis(1000),
+            link_extra_delay_mean: Duration::ZERO,
+            write_fail_p: 0.0,
+        }
+    }
+}
+
+/// A seeded, replayable chaos scenario.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Root seed every draw derives from.
+    pub seed: u64,
+    /// Crash events (mapped onto victims by the owning tier).
+    pub crashes: CrashSchedule,
+    /// Substrate-fault rates.
+    pub config: FaultConfig,
+}
+
+impl FaultPlan {
+    /// A benign plan (no crashes, no substrate faults) with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Add one scheduled crash at `offset` from the chaos start.
+    pub fn crash_at(mut self, offset: Duration) -> Self {
+        match &mut self.crashes {
+            CrashSchedule::At(v) => v.push(offset),
+            other => *other = CrashSchedule::At(vec![offset]),
+        }
+        self
+    }
+
+    /// Replace the crash schedule with a Poisson process.
+    pub fn poisson_crashes(mut self, mean_gap: Duration, horizon: Duration) -> Self {
+        self.crashes = CrashSchedule::Poisson { mean_gap, horizon };
+        self
+    }
+
+    /// Drop each link transfer pass with probability `p`.
+    pub fn link_drop(mut self, p: f64) -> Self {
+        self.config.link_drop_p = p;
+        self
+    }
+
+    /// Add exponential delivery jitter with the given mean to every link
+    /// transfer.
+    pub fn link_extra_delay(mut self, mean: Duration) -> Self {
+        self.config.link_extra_delay_mean = mean;
+        self
+    }
+
+    /// Fail each blob-store write with probability `p`.
+    pub fn write_fail(mut self, p: f64) -> Self {
+        self.config.write_fail_p = p;
+        self
+    }
+
+    /// Materialize the crash schedule: sorted offsets from the chaos
+    /// start. Poisson schedules draw from a generator derived *only* from
+    /// the plan seed, so repeated calls (and repeated runs) agree exactly.
+    pub fn crash_times(&self) -> Vec<Duration> {
+        match &self.crashes {
+            CrashSchedule::None => Vec::new(),
+            CrashSchedule::At(offsets) => {
+                let mut v = offsets.clone();
+                v.sort();
+                v
+            }
+            CrashSchedule::Poisson { mean_gap, horizon } => {
+                let mut rng = self.derived_rng(0x0063_7261_7368_u64); // "crash"
+                let mut t = Duration::ZERO;
+                let mut v = Vec::new();
+                loop {
+                    t += Duration::from_secs_f64(rng.exp(mean_gap.as_secs_f64()));
+                    if t > *horizon {
+                        return v;
+                    }
+                    v.push(t);
+                }
+            }
+        }
+    }
+
+    /// The probabilistic-fault draw source for this plan, ready to hand to
+    /// [`crate::Link::inject_faults`] or a storage layer.
+    pub fn injector(&self) -> Rc<FaultInjector> {
+        FaultInjector::new(self.seed ^ 0x696e_6a65_6374u64, self.config) // "inject"
+    }
+
+    /// A generator derived from the plan seed and a caller salt, for
+    /// plan-driven decisions outside the injector (victim picks, etc.).
+    /// Distinct salts give independent, replayable streams.
+    pub fn derived_rng(&self, salt: u64) -> Rng {
+        Rng::new(self.seed ^ salt.rotate_left(17))
+    }
+}
+
+/// Running totals of injected substrate faults.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Link transfer passes dropped (each costs one retransmit).
+    pub link_drops: u64,
+    /// Blob-store writes failed.
+    pub write_fails: u64,
+}
+
+/// Seeded draw source for the probabilistic knobs in a [`FaultConfig`].
+///
+/// One injector serializes all its draws through a single generator, so
+/// the *order* of substrate operations matters to the draw sequence — which
+/// is exactly the determinism contract the kernel already makes (the event
+/// loop itself is deterministic).
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: RefCell<Rng>,
+    link_drops: Cell<u64>,
+    write_fails: Cell<u64>,
+}
+
+impl FaultInjector {
+    /// New injector drawing from `seed` under `cfg`.
+    pub fn new(seed: u64, cfg: FaultConfig) -> Rc<FaultInjector> {
+        Rc::new(FaultInjector {
+            cfg,
+            rng: RefCell::new(Rng::new(seed)),
+            link_drops: Cell::new(0),
+            write_fails: Cell::new(0),
+        })
+    }
+
+    /// The active knobs.
+    pub fn config(&self) -> FaultConfig {
+        self.cfg
+    }
+
+    /// Draw: is this link transfer pass dropped?
+    pub fn drop_transfer(&self) -> bool {
+        if self.cfg.link_drop_p <= 0.0 {
+            return false;
+        }
+        let hit = self.rng.borrow_mut().chance(self.cfg.link_drop_p);
+        if hit {
+            self.link_drops.set(self.link_drops.get() + 1);
+        }
+        hit
+    }
+
+    /// Draw: extra delivery delay for this link transfer.
+    pub fn extra_delay(&self) -> Duration {
+        if self.cfg.link_extra_delay_mean.is_zero() {
+            return Duration::ZERO;
+        }
+        let mean = self.cfg.link_extra_delay_mean.as_secs_f64();
+        Duration::from_secs_f64(self.rng.borrow_mut().exp(mean))
+    }
+
+    /// Draw: does this blob-store write fail?
+    pub fn fail_write(&self) -> bool {
+        if self.cfg.write_fail_p <= 0.0 {
+            return false;
+        }
+        let hit = self.rng.borrow_mut().chance(self.cfg.write_fail_p);
+        if hit {
+            self.write_fails.set(self.write_fails.get() + 1);
+        }
+        hit
+    }
+
+    /// Totals so far.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            link_drops: self.link_drops.get(),
+            write_fails: self.write_fails.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_schedule_is_sorted() {
+        let plan = FaultPlan::new(1)
+            .crash_at(Duration::from_secs(50))
+            .crash_at(Duration::from_secs(10));
+        assert_eq!(
+            plan.crash_times(),
+            vec![Duration::from_secs(10), Duration::from_secs(50)]
+        );
+    }
+
+    #[test]
+    fn poisson_schedule_is_replayable_and_seed_sensitive() {
+        let plan = |seed| {
+            FaultPlan::new(seed)
+                .poisson_crashes(Duration::from_secs(60), Duration::from_secs(3600))
+        };
+        let a = plan(7).crash_times();
+        let b = plan(7).crash_times();
+        let c = plan(8).crash_times();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(*a.last().unwrap() <= Duration::from_secs(3600));
+        // mean gap ≈ 60s over an hour → on the order of 60 crashes
+        assert!(a.len() > 20 && a.len() < 180, "got {}", a.len());
+    }
+
+    #[test]
+    fn injector_draws_are_replayable() {
+        let plan = FaultPlan::new(3).link_drop(0.3).write_fail(0.1);
+        let draw = || {
+            let inj = plan.injector();
+            let v: Vec<bool> = (0..100).map(|_| inj.drop_transfer()).collect();
+            let w: Vec<bool> = (0..100).map(|_| inj.fail_write()).collect();
+            (v, w, inj.counts())
+        };
+        let (v1, w1, c1) = draw();
+        let (v2, w2, c2) = draw();
+        assert_eq!(v1, v2);
+        assert_eq!(w1, w2);
+        assert_eq!(c1, c2);
+        assert!(c1.link_drops > 10 && c1.link_drops < 60, "{c1:?}");
+        assert!(c1.write_fails > 0);
+    }
+
+    #[test]
+    fn benign_plan_never_draws() {
+        let inj = FaultPlan::new(9).injector();
+        for _ in 0..50 {
+            assert!(!inj.drop_transfer());
+            assert!(!inj.fail_write());
+            assert!(inj.extra_delay().is_zero());
+        }
+        assert_eq!(inj.counts(), FaultCounts::default());
+    }
+}

@@ -16,6 +16,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::engine::Sim;
+use crate::fault::FaultInjector;
 use crate::server::{FifoServer, FlowId, PsServer, ServerConfig, Share};
 use crate::time::Duration;
 
@@ -156,6 +157,7 @@ pub struct Link {
     name: String,
     server: Rc<RefCell<PsServer>>,
     latency: Duration,
+    faults: RefCell<Option<Rc<FaultInjector>>>,
 }
 
 impl Link {
@@ -180,7 +182,17 @@ impl Link {
                 ],
             )),
             latency,
+            faults: RefCell::new(None),
         })
+    }
+
+    /// Subject this link to a [`FaultInjector`]: each transfer pass may be
+    /// dropped (and retransmitted after the injector's RTO, re-transiting
+    /// the payload) or delivered with extra exponential jitter. Pass `None`
+    /// to heal the link. Faultless links take the exact pre-chaos fast
+    /// path, so a link with no injector behaves bit-identically to before.
+    pub fn inject_faults(&self, injector: Option<Rc<FaultInjector>>) {
+        *self.faults.borrow_mut() = injector;
     }
 
     /// The link name.
@@ -213,8 +225,48 @@ impl Link {
         F: FnOnce(&mut Sim) + 'static,
     {
         let latency = self.latency;
-        PsServer::submit_with(&self.server, sim, bytes, share, move |sim| {
-            sim.schedule(latency, done);
+        match self.faults.borrow().clone() {
+            None => PsServer::submit_with(&self.server, sim, bytes, share, move |sim| {
+                sim.schedule(latency, done);
+            }),
+            Some(inj) => Link::faulty_pass(
+                Rc::clone(&self.server),
+                sim,
+                bytes,
+                share,
+                latency,
+                inj,
+                Box::new(done),
+            ),
+        }
+    }
+
+    /// One transit attempt under fault injection. Drop/jitter draws happen
+    /// at submit time (deterministic event order → deterministic draws); a
+    /// dropped pass re-transits the full payload after the injector's RTO,
+    /// TCP-style, so the delivery callback still fires exactly once.
+    /// Cancelling the returned [`FlowId`] only covers the first pass.
+    fn faulty_pass(
+        server: Rc<RefCell<PsServer>>,
+        sim: &mut Sim,
+        bytes: f64,
+        share: Share,
+        latency: Duration,
+        inj: Rc<FaultInjector>,
+        done: Box<dyn FnOnce(&mut Sim)>,
+    ) -> FlowId {
+        let dropped = inj.drop_transfer();
+        let delay = latency + inj.extra_delay();
+        let server2 = Rc::clone(&server);
+        PsServer::submit_with(&server, sim, bytes, share, move |sim| {
+            if dropped {
+                let rto = inj.config().link_retransmit;
+                sim.schedule(rto, move |sim| {
+                    Link::faulty_pass(server2, sim, bytes, share, latency, inj, done);
+                });
+            } else {
+                sim.schedule(delay, done);
+            }
         })
     }
 
@@ -390,5 +442,47 @@ mod tests {
         sim.run();
         // 500 bytes in 5 s, then 500 at 25 B/s → 25 s total
         assert!((done_at.get() - 25.0).abs() < 1e-2, "got {}", done_at.get());
+    }
+
+    #[test]
+    fn faulty_link_retransmits_but_delivers_exactly_once() {
+        use crate::fault::FaultPlan;
+        let run = |drop_p: f64| {
+            let mut sim = Sim::new(0);
+            let link = Link::new("l", "a", "b", 1000.0, Duration::from_millis(10));
+            let plan = FaultPlan::new(42).link_drop(drop_p);
+            link.inject_faults(Some(plan.injector()));
+            let delivered = Rc::new(Cell::new(0u32));
+            for _ in 0..40 {
+                let d = delivered.clone();
+                link.transfer(&mut sim, 100.0, move |_| d.set(d.get() + 1));
+            }
+            sim.run();
+            (delivered.get(), sim.now().as_secs_f64())
+        };
+        let (ok_clean, t_clean) = run(0.0);
+        let (ok_chaos, t_chaos) = run(0.5);
+        assert_eq!(ok_clean, 40);
+        assert_eq!(ok_chaos, 40, "drops retransmit; nothing is lost");
+        assert!(t_chaos > t_clean, "retransmits cost time: {t_chaos} vs {t_clean}");
+    }
+
+    #[test]
+    fn healed_link_matches_faultless_timing() {
+        let run = |inject: bool| {
+            let mut sim = Sim::new(0);
+            let link = Link::new("l", "a", "b", 1000.0, Duration::from_millis(10));
+            if inject {
+                let plan = crate::fault::FaultPlan::new(1).link_drop(0.9);
+                link.inject_faults(Some(plan.injector()));
+                link.inject_faults(None); // heal before any traffic
+            }
+            let done_at = Rc::new(Cell::new(0.0));
+            let d = done_at.clone();
+            link.transfer(&mut sim, 500.0, move |sim| d.set(sim.now().as_secs_f64()));
+            sim.run();
+            done_at.get()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

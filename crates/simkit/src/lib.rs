@@ -24,6 +24,9 @@
 //!   ([`metrics`]); the paper samples at 3-second intervals and so do we.
 //! * [`Rng`] — a seedable xoshiro256++ generator with the handful of
 //!   distributions the workloads need ([`rng`]).
+//! * [`fault`] — seeded, replayable chaos: crash schedules plus
+//!   probabilistic link-drop/jitter and storage-write-failure injection
+//!   ([`FaultPlan`], [`FaultInjector`]).
 //! * [`telemetry`] — structured, zero-overhead-when-disabled tracing:
 //!   causal spans on the virtual clock, counters, duration histograms,
 //!   kernel self-profiling, and Chrome-trace / span-tree exporters.
@@ -44,6 +47,7 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod host;
 pub mod metrics;
 pub mod report;
@@ -54,6 +58,7 @@ pub mod telemetry;
 pub mod time;
 
 pub use engine::Sim;
+pub use fault::{CrashSchedule, FaultConfig, FaultCounts, FaultInjector, FaultPlan};
 pub use host::{Duplex, Host, HostSpec, Link, GBIT_PER_S, KB, MB};
 pub use metrics::{MetricId, Recorder, Series};
 pub use rng::Rng;

@@ -82,6 +82,7 @@ pub struct Appliance {
     image_name: String,
     services: Vec<String>,
     deployed_at: RefCell<SimTime>,
+    killed: std::cell::Cell<bool>,
 }
 
 impl Appliance {
@@ -106,6 +107,7 @@ impl Appliance {
             image_name: image.name.clone(),
             services: image.boot_services.clone(),
             deployed_at: RefCell::new(sim.now()),
+            killed: std::cell::Cell::new(false),
         });
         let app = Rc::clone(&appliance);
         let bytes = image.bytes;
@@ -196,6 +198,32 @@ impl Appliance {
             ApplianceState::Destroyed,
             "destroy",
         )
+    }
+
+    /// Pull the plug: the involuntary-loss path (spot reclaim, hypervisor
+    /// death, kernel panic). Same state transition as [`Appliance::destroy`]
+    /// but semantically *no drain happened* — in-flight work on the VM is
+    /// simply gone, and [`Appliance::was_killed`] records the distinction
+    /// so owners can tell crash-loss from voluntary teardown.
+    pub fn destroy_now(&self) -> Result<(), ApplianceError> {
+        self.transition(
+            &[
+                ApplianceState::Deploying,
+                ApplianceState::Booting,
+                ApplianceState::Running,
+                ApplianceState::Suspended,
+            ],
+            ApplianceState::Destroyed,
+            "destroy_now",
+        )?;
+        self.killed.set(true);
+        Ok(())
+    }
+
+    /// Whether this appliance died by [`Appliance::destroy_now`] rather
+    /// than a drained [`Appliance::destroy`].
+    pub fn was_killed(&self) -> bool {
+        self.killed.get()
     }
 
     /// Whether the appliance is serving.
@@ -310,6 +338,39 @@ mod tests {
         sim.run();
         assert!(!reached_running.get());
         assert_eq!(app.state(), ApplianceState::Destroyed);
+    }
+
+    #[test]
+    fn destroy_now_hard_kills_and_is_flagged() {
+        let mut sim = Sim::new(0);
+        let app = Appliance::deploy(
+            &mut sim,
+            &image(),
+            &link(),
+            &DeploySpec::default_for("a"),
+            |_, _| {},
+        );
+        sim.run();
+        assert!(app.is_running());
+        assert!(!app.was_killed());
+        app.destroy_now().unwrap();
+        assert_eq!(app.state(), ApplianceState::Destroyed);
+        assert!(app.was_killed());
+        // already dead: a second kill (or drain-destroy) is an error
+        assert!(app.destroy_now().is_err());
+        assert!(app.destroy().is_err());
+        // a drained destroy is never flagged as a kill
+        let mut sim2 = Sim::new(0);
+        let app2 = Appliance::deploy(
+            &mut sim2,
+            &image(),
+            &link(),
+            &DeploySpec::default_for("b"),
+            |_, _| {},
+        );
+        sim2.run();
+        app2.destroy().unwrap();
+        assert!(!app2.was_killed());
     }
 
     #[test]
