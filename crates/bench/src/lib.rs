@@ -9,6 +9,7 @@
 //! the same series the paper plots (ASCII charts + row tables) so
 //! EXPERIMENTS.md can quote exact numbers.
 
+pub mod affinity;
 pub mod chaos;
 pub mod fleetscale;
 

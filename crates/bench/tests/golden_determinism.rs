@@ -263,3 +263,38 @@ fn fig8_curves_match_golden_at_both_sampling_rates() {
         "fig8 3 s CSV drifted"
     );
 }
+
+/// The affinity experiment must be byte-stable per seed, and its headline
+/// claim — sticky routing cuts credential exchanges and mean latency at
+/// equal offered load — must hold in the committed fixture.
+#[test]
+fn affinity_sweep_matches_golden() {
+    use onserve_bench::affinity;
+    let points = affinity::sweep();
+    assert_eq!(
+        affinity::csv(&points),
+        golden("affinity.csv"),
+        "affinity CSV drifted"
+    );
+    let row = |on: bool| points.iter().find(|p| p.affinity == on).expect("row");
+    let (on, off) = (row(true), row(false));
+    assert_eq!(on.issued, off.issued, "same seed must offer the same load");
+    assert!(
+        on.auth_spans < off.auth_spans,
+        "affinity must avoid credential exchanges ({} vs {})",
+        on.auth_spans,
+        off.auth_spans
+    );
+    assert_eq!(
+        on.auth_spans, affinity::TENANTS as u64,
+        "sticky fleet authenticates each tenant exactly once"
+    );
+    assert!(
+        on.mean_latency_s < off.mean_latency_s,
+        "affinity must lower mean latency ({} vs {})",
+        on.mean_latency_s,
+        off.mean_latency_s
+    );
+    assert!(on.affinity_hits > 0 && off.affinity_hits == 0);
+    assert_eq!(on.faulted + off.faulted, 0, "no faults in a quiet fleet");
+}

@@ -182,6 +182,12 @@ pub struct OnServe {
     grid_sessions: RefCell<BTreeMap<String, cyberaide::SessionId>>,
     invocations: Cell<u64>,
     invocation_failures: Cell<u64>,
+    /// Authentications performed against the agent (cache misses included).
+    auths: Cell<u64>,
+    /// Invocations served from a cached grid session (re-auths avoided).
+    session_hits: Cell<u64>,
+    /// Stale cached sessions evicted (and logged out of the agent).
+    session_evictions: Cell<u64>,
 }
 
 impl OnServe {
@@ -206,6 +212,9 @@ impl OnServe {
             grid_sessions: RefCell::new(BTreeMap::new()),
             invocations: Cell::new(0),
             invocation_failures: Cell::new(0),
+            auths: Cell::new(0),
+            session_hits: Cell::new(0),
+            session_evictions: Cell::new(0),
         })
     }
 
@@ -242,6 +251,17 @@ impl OnServe {
     /// `(invocations, failures)` counters.
     pub fn counters(&self) -> (u64, u64) {
         (self.invocations.get(), self.invocation_failures.get())
+    }
+
+    /// `(authentications, cache hits, stale evictions)` — how often the
+    /// grid-session cache saved a MyProxy round trip, and how often a
+    /// cached proxy had to be evicted (and logged out) for staleness.
+    pub fn session_counters(&self) -> (u64, u64, u64) {
+        (
+            self.auths.get(),
+            self.session_hits.get(),
+            self.session_evictions.get(),
+        )
     }
 
     /// Scenario A: store the uploaded executable, generate + deploy the
@@ -644,22 +664,38 @@ impl OnServe {
             };
             let this_auth = Rc::clone(&this);
             let cached = if this.config.cache_grid_sessions {
-                this.grid_sessions
-                    .borrow()
-                    .get(&owner_for_cache)
-                    .copied()
-                    .filter(|&s| {
-                        // keep a safety margin so the proxy outlives the job
-                        agent
+                let candidate = this.grid_sessions.borrow().get(&owner_for_cache).copied();
+                match candidate {
+                    // keep a safety margin so the proxy outlives the job
+                    Some(s)
+                        if agent
                             .session_expires(s)
-                            .is_some_and(|exp| exp > sim.now() + Duration::from_secs(600))
-                    })
+                            .is_some_and(|exp| exp > sim.now() + Duration::from_secs(600)) =>
+                    {
+                        Some(s)
+                    }
+                    // stale: evict *and* log out, or the agent's session
+                    // map grows by one dead proxy per expiry
+                    Some(stale) => {
+                        this.grid_sessions.borrow_mut().remove(&owner_for_cache);
+                        agent.logout(stale);
+                        this.session_evictions.set(this.session_evictions.get() + 1);
+                        sim.counter_add("onserve.session_evicted", 1);
+                        None
+                    }
+                    None => None,
+                }
             } else {
                 None
             };
             match cached {
-                Some(session) => with_session(sim, session),
+                Some(session) => {
+                    this.session_hits.set(this.session_hits.get() + 1);
+                    sim.counter_add("onserve.session_cache_hit", 1);
+                    with_session(sim, session)
+                }
                 None => {
+                    this.auths.set(this.auths.get() + 1);
                     let fail_auth = Rc::clone(&fail);
                     let prev = sim.set_span_parent(inv_span);
                     agent.authenticate(sim, &owner_user, &owner_pass, move |sim, auth| {

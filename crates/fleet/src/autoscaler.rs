@@ -268,6 +268,7 @@ mod tests {
                 Request::Invoke {
                     service: "slow".into(),
                     args: Vec::new(),
+                    principal: None,
                 },
                 Box::new(|_, _| {}),
             );
@@ -323,6 +324,7 @@ mod tests {
                 Request::Invoke {
                     service: "slow".into(),
                     args: Vec::new(),
+                    principal: None,
                 },
                 Box::new(|_, _| {}),
             );

@@ -26,7 +26,7 @@
 //! per-attempt timeout treats a silent backend as dead and ejects it.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use onserve::profile::ExecutionProfile;
@@ -53,6 +53,10 @@ pub enum Request {
         service: String,
         /// SOAP arguments.
         args: Vec<(String, SoapValue)>,
+        /// Stable identity of the authenticating principal — today the
+        /// service owner's grid user. Session-affinity routing keys on it;
+        /// `None` opts the request out of affinity.
+        principal: Option<String>,
     },
 }
 
@@ -85,8 +89,9 @@ pub enum Policy {
     /// ties).
     LeastOutstanding,
     /// Pick the replica whose appliance CPU has accumulated the least busy
-    /// time, read from [`Sim::profile`]'s server-busy rollup (first wins
-    /// ties). Spreads load by *measured* work, not request counts.
+    /// time, read straight from the recorder's `<name>.cpu.busy` series
+    /// (the same rollup [`Sim::profile`] reports; first wins ties).
+    /// Spreads load by *measured* work, not request counts.
     UtilizationWeighted,
 }
 
@@ -150,6 +155,29 @@ impl RetryConfig {
     }
 }
 
+/// Session-affinity (sticky-routing) behaviour.
+///
+/// With affinity on, each invocation carrying a [`Request::Invoke`]
+/// `principal` is pinned to one replica, so that replica's per-`OnServe`
+/// grid-session cache keeps hitting instead of every replica paying its
+/// own MyProxy delegation for the same principal. Pins never outlive their
+/// replica: eject/drain orphans them immediately, and an orphaned key is
+/// reassigned by rendezvous hash over the live set — a pure function of
+/// (key, live replica names), so same-seed runs replay byte-identically
+/// no matter how the loss interleaved with traffic.
+#[derive(Clone, Copy, Debug)]
+pub struct AffinityConfig {
+    /// Pinned keys kept at most; when full, the oldest pin is dropped and
+    /// that key starts over as a fresh assignment.
+    pub capacity: usize,
+}
+
+impl Default for AffinityConfig {
+    fn default() -> Self {
+        AffinityConfig { capacity: 1024 }
+    }
+}
+
 /// Dispatcher parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct DispatcherConfig {
@@ -164,6 +192,9 @@ pub struct DispatcherConfig {
     /// Eject a backend that has not answered an attempt within this long
     /// (the timeout dead-backend signal). `None` disables the watchdog.
     pub request_timeout: Option<Duration>,
+    /// Pin each principal to one replica. `None` routes every attempt by
+    /// `policy` alone.
+    pub affinity: Option<AffinityConfig>,
 }
 
 impl Default for DispatcherConfig {
@@ -173,6 +204,7 @@ impl Default for DispatcherConfig {
             max_in_flight: 64,
             retry: Some(RetryConfig::default()),
             request_timeout: None,
+            affinity: None,
         }
     }
 }
@@ -198,6 +230,13 @@ pub struct DispatchCounters {
     pub retried: u64,
     /// Backends thrown out of rotation without drain.
     pub ejected: u64,
+    /// Attempts routed to the replica their principal was pinned to.
+    pub affinity_hits: u64,
+    /// Attempts whose principal had no pin yet (pinned by base policy).
+    pub affinity_misses: u64,
+    /// Attempts whose pin had been invalidated by a replica loss or drain
+    /// (reassigned by rendezvous hash).
+    pub affinity_repins: u64,
 }
 
 struct Slot {
@@ -205,6 +244,9 @@ struct Slot {
     /// Ops currently outstanding on this backend (attempt granularity).
     ops: Vec<u64>,
     draining: bool,
+    /// The backend's `<name>.cpu.busy` recorder key, precomputed so the
+    /// utilization-weighted pick allocates nothing per candidate.
+    busy_key: String,
 }
 
 impl Slot {
@@ -240,6 +282,64 @@ struct Ticket {
     retries: u32,
 }
 
+/// One affinity-table entry.
+enum Pin {
+    /// Pinned to the named live replica.
+    Live(String),
+    /// The pinned replica was ejected or drained; the key is reassigned
+    /// (rendezvous hash) on its next request.
+    Orphaned,
+}
+
+/// Bounded `principal → replica` table, oldest-key eviction.
+#[derive(Default)]
+struct AffinityTable {
+    pins: HashMap<String, Pin>,
+    /// Keys in insertion order, for capacity eviction.
+    order: VecDeque<String>,
+}
+
+impl AffinityTable {
+    /// Pin `key` to `replica`, evicting the oldest key at capacity.
+    fn pin(&mut self, key: &str, replica: &str, capacity: usize) {
+        if let Some(p) = self.pins.get_mut(key) {
+            *p = Pin::Live(replica.to_owned());
+            return;
+        }
+        while self.order.len() >= capacity.max(1) {
+            if let Some(old) = self.order.pop_front() {
+                self.pins.remove(&old);
+            }
+        }
+        self.pins.insert(key.to_owned(), Pin::Live(replica.to_owned()));
+        self.order.push_back(key.to_owned());
+    }
+
+    /// Orphan every pin pointing at `replica` (loss/drain invalidation).
+    fn orphan_replica(&mut self, replica: &str) {
+        for p in self.pins.values_mut() {
+            if matches!(p, Pin::Live(r) if r == replica) {
+                *p = Pin::Orphaned;
+            }
+        }
+    }
+}
+
+/// Rendezvous (highest-random-weight) score of `replica` for `key`:
+/// FNV-1a over both names, finished with a splitmix64 mix. Deliberately
+/// hand-rolled — `std`'s default hasher is randomly seeded per process,
+/// which would break byte-identical replays.
+fn rendezvous_score(key: &str, replica: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key.as_bytes().iter().chain(&[0xff]).chain(replica.as_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
 type DrainHook = Box<dyn Fn(&mut Sim, &str)>;
 type UploadHook = Box<dyn Fn(&mut Sim, &Request)>;
 
@@ -252,6 +352,7 @@ pub struct Dispatcher {
     counters: RefCell<DispatchCounters>,
     next_op: Cell<u64>,
     ops: RefCell<HashMap<u64, PendingOp>>,
+    affinity: RefCell<AffinityTable>,
     drain_hook: RefCell<Option<DrainHook>>,
     upload_hook: RefCell<Option<UploadHook>>,
 }
@@ -267,6 +368,7 @@ impl Dispatcher {
             counters: RefCell::new(DispatchCounters::default()),
             next_op: Cell::new(0),
             ops: RefCell::new(HashMap::new()),
+            affinity: RefCell::new(AffinityTable::default()),
             drain_hook: RefCell::new(None),
             upload_hook: RefCell::new(None),
         })
@@ -279,10 +381,12 @@ impl Dispatcher {
 
     /// Put a backend into rotation.
     pub fn add_backend(&self, backend: Rc<dyn Backend>) {
+        let busy_key = format!("{}.cpu.busy", backend.name());
         self.slots.borrow_mut().push(Slot {
             backend,
             ops: Vec::new(),
             draining: false,
+            busy_key,
         });
     }
 
@@ -302,6 +406,8 @@ impl Dispatcher {
             slot.draining = true;
             slot.outstanding() == 0
         };
+        // a draining replica takes no new work, sticky or not
+        self.affinity.borrow_mut().orphan_replica(name);
         if idle {
             self.retire(sim, name);
         }
@@ -381,12 +487,36 @@ impl Dispatcher {
 
     /// One routing attempt for an admitted invocation (first try or retry).
     fn attempt(self: &Rc<Self>, sim: &mut Sim, ticket: Ticket) {
-        let Some(pick) = self.pick(sim) else {
+        let key = match &ticket.req {
+            Request::Invoke { principal, .. } => principal.clone(),
+            Request::Upload { .. } => None,
+        };
+        let Some((pick, affinity)) = self.route(sim, key.as_deref()) else {
             // every backend is gone: re-shed to the client as a SOAP fault
             self.fail_ticket(sim, ticket, "no replicas in rotation");
             return;
         };
         let span = ticket.span;
+        if let Some(outcome) = affinity {
+            sim.span_attr(span, "affinity", outcome);
+            let mut c = self.counters.borrow_mut();
+            let counter = match outcome {
+                "hit" => {
+                    c.affinity_hits += 1;
+                    "dispatcher.affinity_hit"
+                }
+                "repin" => {
+                    c.affinity_repins += 1;
+                    "dispatcher.affinity_repin"
+                }
+                _ => {
+                    c.affinity_misses += 1;
+                    "dispatcher.affinity_miss"
+                }
+            };
+            drop(c);
+            sim.counter_add(counter, 1);
+        }
         let req = ticket.req.clone();
         let attempt_no = ticket.retries;
         let this = Rc::clone(self);
@@ -658,6 +788,9 @@ impl Dispatcher {
         };
         self.counters.borrow_mut().ejected += 1;
         sim.counter_add("dispatcher.ejected", 1);
+        // pins to the dead replica die with it; the keys reassign by
+        // rendezvous hash on their next request
+        self.affinity.borrow_mut().orphan_replica(name);
         let mut resolved: Vec<PendingOp> = Vec::with_capacity(lost_ops.len());
         {
             let mut ops = self.ops.borrow_mut();
@@ -678,8 +811,11 @@ impl Dispatcher {
         true
     }
 
-    /// Deterministic replica choice; `None` when nothing is in rotation.
-    fn pick(&self, sim: &Sim) -> Option<usize> {
+    /// Deterministic replica choice for one attempt; `None` when nothing
+    /// is in rotation. With affinity on and a `key`, the second element
+    /// labels the routing outcome (`hit` / `miss` / `repin`) for the
+    /// dispatch span and counters.
+    fn route(&self, sim: &Sim, key: Option<&str>) -> Option<(usize, Option<&'static str>)> {
         let slots = self.slots.borrow();
         let live: Vec<usize> = slots
             .iter()
@@ -690,7 +826,57 @@ impl Dispatcher {
         if live.is_empty() {
             return None;
         }
-        Some(match self.cfg.policy {
+        let (Some(aff), Some(key)) = (self.cfg.affinity, key) else {
+            return Some((self.pick_base(sim, &slots, &live), None));
+        };
+        let mut table = self.affinity.borrow_mut();
+        match table.pins.get(key) {
+            // sticky path: the pinned replica is live and non-draining
+            // (eject/drain orphan the pin, so a Live pin always resolves;
+            // the find is the belt-and-braces liveness check)
+            Some(Pin::Live(replica)) => {
+                if let Some(&i) = live.iter().find(|&&i| slots[i].backend.name() == replica) {
+                    return Some((i, Some("hit")));
+                }
+                let i = Self::pick_rendezvous(key, &slots, &live);
+                table.pin(key, slots[i].backend.name(), aff.capacity);
+                Some((i, Some("repin")))
+            }
+            // the pin died with its replica: deterministic reassignment,
+            // a pure function of (key, live names) — independent of how
+            // retries interleaved with the loss
+            Some(Pin::Orphaned) => {
+                let i = Self::pick_rendezvous(key, &slots, &live);
+                table.pin(key, slots[i].backend.name(), aff.capacity);
+                Some((i, Some("repin")))
+            }
+            // first sight of the key: let the base policy spread it, then
+            // stick with the choice
+            None => {
+                let i = self.pick_base(sim, &slots, &live);
+                table.pin(key, slots[i].backend.name(), aff.capacity);
+                Some((i, Some("miss")))
+            }
+        }
+    }
+
+    /// Highest rendezvous score over the live set wins.
+    fn pick_rendezvous(key: &str, slots: &[Slot], live: &[usize]) -> usize {
+        let mut best = live[0];
+        let mut best_score = rendezvous_score(key, slots[best].backend.name());
+        for &i in &live[1..] {
+            let s = rendezvous_score(key, slots[i].backend.name());
+            if s > best_score {
+                best = i;
+                best_score = s;
+            }
+        }
+        best
+    }
+
+    /// The configured base [`Policy`] over the live set.
+    fn pick_base(&self, sim: &Sim, slots: &[Slot], live: &[usize]) -> usize {
+        match self.cfg.policy {
             Policy::RoundRobin => {
                 let k = self.rr_cursor.get();
                 self.rr_cursor.set(k.wrapping_add(1));
@@ -706,15 +892,8 @@ impl Dispatcher {
                 best
             }
             Policy::UtilizationWeighted => {
-                let profile = sim.profile();
-                let busy = |i: usize| -> f64 {
-                    let key = format!("{}.cpu.busy", slots[i].backend.name());
-                    profile
-                        .server_busy
-                        .iter()
-                        .find(|s| s.key == key)
-                        .map_or(0.0, |s| s.busy_secs)
-                };
+                let recorder = sim.recorder_ref();
+                let busy = |i: usize| -> f64 { recorder.total(&slots[i].busy_key) };
                 let mut best = live[0];
                 let mut best_busy = busy(best);
                 for &i in &live[1..] {
@@ -726,7 +905,7 @@ impl Dispatcher {
                 }
                 best
             }
-        })
+        }
     }
 
     /// Front-door bookkeeping for one finished request.
@@ -807,6 +986,15 @@ mod tests {
         Request::Invoke {
             service: "svc".into(),
             args: Vec::new(),
+            principal: None,
+        }
+    }
+
+    fn invoke_as(principal: &str) -> Request {
+        Request::Invoke {
+            service: "svc".into(),
+            args: Vec::new(),
+            principal: Some(principal.into()),
         }
     }
 
@@ -1045,6 +1233,7 @@ mod tests {
                 ..RetryConfig::default()
             }),
             request_timeout: None,
+            affinity: None,
         }
     }
 
@@ -1149,6 +1338,7 @@ mod tests {
             max_in_flight: 16,
             retry: None,
             request_timeout: None,
+            affinity: None,
         });
         d.add_backend(BlackHole::new("dead"));
         d.add_backend(Echo::new("good", 10));
@@ -1177,6 +1367,7 @@ mod tests {
             max_in_flight: 16,
             retry: Some(RetryConfig::default()),
             request_timeout: Some(Duration::from_secs(10)),
+            affinity: None,
         });
         let hole = BlackHole::new("silent");
         let good = Echo::new("good", 10);
@@ -1207,6 +1398,7 @@ mod tests {
             max_in_flight: 16,
             retry: Some(RetryConfig::default()),
             request_timeout: Some(Duration::from_secs(10)),
+            affinity: None,
         });
         d.add_backend(Echo::new("a", 100)); // answers well inside the window
         for _ in 0..5 {
@@ -1275,5 +1467,193 @@ mod tests {
         sim.run();
         assert!(shed.get(), "no backends at all → immediate SOAP fault");
         assert_eq!(d.counters().shed, 1);
+    }
+
+    fn sticky(policy: Policy) -> DispatcherConfig {
+        DispatcherConfig {
+            policy,
+            max_in_flight: 64,
+            affinity: Some(AffinityConfig::default()),
+            ..DispatcherConfig::default()
+        }
+    }
+
+    #[test]
+    fn affinity_pins_a_principal_to_one_replica() {
+        let mut sim = Sim::new(40);
+        let d = Dispatcher::new(sticky(Policy::RoundRobin));
+        let backends: Vec<Rc<Echo>> = (0..3).map(|i| Echo::new(&format!("r{i}"), 10)).collect();
+        for b in &backends {
+            d.add_backend(b.clone());
+        }
+        for _ in 0..9 {
+            d.submit(&mut sim, invoke_as("alice"), Box::new(|_, r| assert!(r.is_ok())));
+            sim.run();
+        }
+        // round-robin would spread 3/3/3; affinity keeps all 9 together
+        let served: Vec<u64> = backends.iter().map(|b| b.served.get()).collect();
+        assert_eq!(served.iter().sum::<u64>(), 9);
+        assert_eq!(served.iter().filter(|&&n| n > 0).count(), 1, "{served:?}");
+        let c = d.counters();
+        assert_eq!((c.affinity_misses, c.affinity_hits, c.affinity_repins), (1, 8, 0));
+    }
+
+    #[test]
+    fn affinity_first_sight_spreads_by_base_policy() {
+        let mut sim = Sim::new(41);
+        let d = Dispatcher::new(sticky(Policy::RoundRobin));
+        let backends: Vec<Rc<Echo>> = (0..3).map(|i| Echo::new(&format!("r{i}"), 10)).collect();
+        for b in &backends {
+            d.add_backend(b.clone());
+        }
+        // three fresh principals, two requests each: round-robin assigns
+        // each principal its own replica, then stickiness holds
+        for user in ["a", "b", "c"] {
+            d.submit(&mut sim, invoke_as(user), Box::new(|_, r| assert!(r.is_ok())));
+        }
+        sim.run();
+        for user in ["a", "b", "c"] {
+            d.submit(&mut sim, invoke_as(user), Box::new(|_, r| assert!(r.is_ok())));
+        }
+        sim.run();
+        let served: Vec<u64> = backends.iter().map(|b| b.served.get()).collect();
+        assert_eq!(served, vec![2, 2, 2], "one principal per replica, sticky");
+        let c = d.counters();
+        assert_eq!((c.affinity_misses, c.affinity_hits), (3, 3));
+    }
+
+    #[test]
+    fn affinity_requests_without_principal_use_base_policy() {
+        let mut sim = Sim::new(42);
+        let d = Dispatcher::new(sticky(Policy::RoundRobin));
+        let backends: Vec<Rc<Echo>> = (0..2).map(|i| Echo::new(&format!("r{i}"), 10)).collect();
+        for b in &backends {
+            d.add_backend(b.clone());
+        }
+        for _ in 0..6 {
+            d.submit(&mut sim, invoke(), Box::new(|_, r| assert!(r.is_ok())));
+        }
+        sim.run();
+        let served: Vec<u64> = backends.iter().map(|b| b.served.get()).collect();
+        assert_eq!(served, vec![3, 3], "no principal → plain round-robin");
+        let c = d.counters();
+        assert_eq!((c.affinity_misses, c.affinity_hits, c.affinity_repins), (0, 0, 0));
+    }
+
+    #[test]
+    fn affinity_repins_by_rendezvous_after_eject() {
+        let mut sim = Sim::new(43);
+        let d = Dispatcher::new(sticky(Policy::RoundRobin));
+        let backends: Vec<Rc<Echo>> = (0..3).map(|i| Echo::new(&format!("r{i}"), 10)).collect();
+        for b in &backends {
+            d.add_backend(b.clone());
+        }
+        d.submit(&mut sim, invoke_as("alice"), Box::new(|_, r| assert!(r.is_ok())));
+        sim.run();
+        let pinned = backends
+            .iter()
+            .position(|b| b.served.get() == 1)
+            .expect("first request pinned somewhere");
+        assert!(d.eject_backend(&mut sim, &format!("r{pinned}")));
+        d.submit(&mut sim, invoke_as("alice"), Box::new(|_, r| assert!(r.is_ok())));
+        sim.run();
+        // the reassignment must equal the rendezvous argmax over survivors
+        let expect = (0..3)
+            .filter(|&i| i != pinned)
+            .max_by_key(|&i| rendezvous_score("alice", &format!("r{i}")))
+            .unwrap();
+        assert_eq!(backends[expect].served.get(), 1, "repinned off-rendezvous");
+        let c = d.counters();
+        assert_eq!((c.affinity_misses, c.affinity_hits, c.affinity_repins), (1, 0, 1));
+        // and the new pin sticks
+        d.submit(&mut sim, invoke_as("alice"), Box::new(|_, r| assert!(r.is_ok())));
+        sim.run();
+        assert_eq!(backends[expect].served.get(), 2);
+        assert_eq!(d.counters().affinity_hits, 1);
+    }
+
+    #[test]
+    fn affinity_never_routes_to_a_draining_replica() {
+        let mut sim = Sim::new(44);
+        let d = Dispatcher::new(sticky(Policy::RoundRobin));
+        let backends: Vec<Rc<Echo>> = (0..2).map(|i| Echo::new(&format!("r{i}"), 10)).collect();
+        for b in &backends {
+            d.add_backend(b.clone());
+        }
+        d.submit(&mut sim, invoke_as("alice"), Box::new(|_, r| assert!(r.is_ok())));
+        sim.run();
+        let pinned = backends.iter().position(|b| b.served.get() == 1).unwrap();
+        // drain the pinned replica: the pin must be invalidated immediately
+        assert!(d.remove_backend(&mut sim, &format!("r{pinned}")));
+        for _ in 0..4 {
+            d.submit(&mut sim, invoke_as("alice"), Box::new(|_, r| assert!(r.is_ok())));
+            sim.run();
+        }
+        assert_eq!(backends[pinned].served.get(), 1, "drained replica took new work");
+        assert_eq!(backends[1 - pinned].served.get(), 4);
+        assert_eq!(d.counters().affinity_repins, 1, "one rendezvous reassignment");
+    }
+
+    #[test]
+    fn affinity_table_capacity_evicts_the_oldest_key() {
+        let mut sim = Sim::new(45);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            max_in_flight: 64,
+            affinity: Some(AffinityConfig { capacity: 2 }),
+            ..DispatcherConfig::default()
+        });
+        d.add_backend(Echo::new("r0", 10));
+        d.add_backend(Echo::new("r1", 10));
+        for user in ["a", "b"] {
+            d.submit(&mut sim, invoke_as(user), Box::new(|_, _| {}));
+            sim.run();
+        }
+        assert_eq!(d.counters().affinity_misses, 2);
+        // "c" evicts "a" (oldest); "a" then re-enters as a fresh miss
+        d.submit(&mut sim, invoke_as("c"), Box::new(|_, _| {}));
+        sim.run();
+        d.submit(&mut sim, invoke_as("a"), Box::new(|_, _| {}));
+        sim.run();
+        let c = d.counters();
+        assert_eq!(c.affinity_misses, 4, "evicted key must not hit");
+        // "a" re-entering displaced "b"; "c" is the one still pinned
+        d.submit(&mut sim, invoke_as("c"), Box::new(|_, _| {}));
+        sim.run();
+        assert_eq!(d.counters().affinity_hits, 1);
+    }
+
+    #[test]
+    fn utilization_weighted_reads_the_same_rollup_as_the_kernel_profile() {
+        // the slot-cached busy key must select exactly the replica the
+        // full profile rebuild would have picked — seed busy time into the
+        // recorder and compare the routed choice against the profile argmin
+        let mut sim = Sim::new(46);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::UtilizationWeighted,
+            max_in_flight: 64,
+            ..DispatcherConfig::default()
+        });
+        let backends: Vec<Rc<Echo>> = (0..3).map(|i| Echo::new(&format!("r{i}"), 1)).collect();
+        for b in &backends {
+            d.add_backend(b.clone());
+        }
+        let t = sim.now();
+        sim.recorder().add_point("r0.cpu.busy", t, 5.0);
+        sim.recorder().add_point("r1.cpu.busy", t, 2.0);
+        sim.recorder().add_point("r2.cpu.busy", t, 9.0);
+        let profile_argmin = sim
+            .profile()
+            .server_busy
+            .iter()
+            .filter(|s| s.key.ends_with(".cpu.busy"))
+            .min_by(|a, b| a.busy_secs.partial_cmp(&b.busy_secs).unwrap())
+            .map(|s| s.key.clone())
+            .expect("busy series seeded");
+        assert_eq!(profile_argmin, "r1.cpu.busy");
+        d.submit(&mut sim, invoke(), Box::new(|_, r| assert!(r.is_ok())));
+        sim.run();
+        let served: Vec<u64> = backends.iter().map(|b| b.served.get()).collect();
+        assert_eq!(served, vec![0, 1, 0], "pick disagrees with profile rollup");
     }
 }

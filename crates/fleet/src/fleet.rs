@@ -94,6 +94,10 @@ struct CatalogEntry {
     file_name: String,
     len: usize,
     profile: ExecutionProfile,
+    /// `(grid user, passphrase)` the service runs jobs as; `None` uses
+    /// the deployment's default identity. Tenants are enrolled on each
+    /// replica before the upload so MyProxy can delegate for them.
+    owner: Option<(String, String)>,
 }
 
 struct Replica {
@@ -183,7 +187,7 @@ impl Fleet {
                     profile,
                 } = req
                 {
-                    fleet.catalog_service(file_name, *len, *profile);
+                    fleet.catalog_service(file_name, *len, *profile, None);
                 }
             }
         });
@@ -363,7 +367,28 @@ impl Fleet {
     ) where
         F: FnOnce(&mut Sim) + 'static,
     {
-        self.catalog_service(file_name, len, profile);
+        self.publish_as(sim, file_name, len, profile, None, done);
+    }
+
+    /// [`Fleet::publish`] with an explicit owning tenant: the service runs
+    /// jobs as `owner`'s `(grid user, passphrase)`, who is enrolled on
+    /// every replica (current and future) before the upload. Invocations
+    /// that carry the owner as their principal then share that tenant's
+    /// cached grid session wherever session affinity routes them.
+    pub fn publish_as<F>(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        file_name: &str,
+        len: usize,
+        profile: ExecutionProfile,
+        owner: Option<(&str, &str)>,
+        done: F,
+    ) where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        let owner: Option<(String, String)> =
+            owner.map(|(u, p)| (u.to_owned(), p.to_owned()));
+        self.catalog_service(file_name, len, profile, owner.clone());
         let targets: Vec<Rc<Deployment>> = self
             .inner
             .borrow()
@@ -380,7 +405,7 @@ impl Fleet {
         let remaining = Rc::new(std::cell::Cell::new(targets.len()));
         let done = Rc::new(RefCell::new(Some(done)));
         for d in targets {
-            let req = d.upload_request(file_name, len, profile, &[]);
+            let req = owned_upload_request(sim, &d, file_name, len, profile, owner.as_ref());
             let remaining = Rc::clone(&remaining);
             let done = Rc::clone(&done);
             d.portal.upload(sim, req, move |sim, res| {
@@ -400,7 +425,13 @@ impl Fleet {
 
     /// Record a service in the catalog and advertise active replicas for
     /// it in the front-end registry.
-    fn catalog_service(&self, file_name: &str, len: usize, profile: ExecutionProfile) {
+    fn catalog_service(
+        &self,
+        file_name: &str,
+        len: usize,
+        profile: ExecutionProfile,
+        owner: Option<(String, String)>,
+    ) {
         let service = service_name(file_name);
         {
             let mut inner = self.inner.borrow_mut();
@@ -411,6 +442,7 @@ impl Fleet {
                 file_name: file_name.to_owned(),
                 len,
                 profile,
+                owner,
             });
         }
         let actives: Vec<String> = self
@@ -507,7 +539,14 @@ impl Fleet {
         match entry {
             None => self.activate(sim, id, d),
             Some(entry) => {
-                let req = d.upload_request(&entry.file_name, entry.len, entry.profile, &[]);
+                let req = owned_upload_request(
+                    sim,
+                    &d,
+                    &entry.file_name,
+                    entry.len,
+                    entry.profile,
+                    entry.owner.as_ref(),
+                );
                 let d2 = Rc::clone(&d);
                 let fleet = self;
                 d.portal.upload(sim, req, move |sim, res| {
@@ -569,6 +608,26 @@ impl Fleet {
     }
 }
 
+/// Build an [`onserve::portal::UploadRequest`] against `d`, running as
+/// `owner` when given (enrolling the tenant first — enrolment is
+/// idempotent) or as the deployment's default grid identity.
+fn owned_upload_request(
+    sim: &Sim,
+    d: &Rc<Deployment>,
+    file_name: &str,
+    len: usize,
+    profile: ExecutionProfile,
+    owner: Option<&(String, String)>,
+) -> onserve::portal::UploadRequest {
+    let mut req = d.upload_request(file_name, len, profile, &[]);
+    if let Some((user, pass)) = owner {
+        d.enroll_tenant(sim, user, pass, None);
+        req.grid_user = user.clone();
+        req.grid_passphrase = pass.clone();
+    }
+    req
+}
+
 /// The service name onServe derives from an executable's file name.
 fn service_name(file_name: &str) -> String {
     file_name
@@ -609,7 +668,7 @@ impl Backend for ReplicaBackend {
             return;
         }
         match req {
-            Request::Invoke { service, args } => {
+            Request::Invoke { service, args, .. } => {
                 let refs: Vec<(&str, wsstack::SoapValue)> =
                     args.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
                 self.deployment.invoke(sim, &service, &refs, done);
@@ -658,6 +717,7 @@ mod tests {
         Request::Invoke {
             service: service.into(),
             args: Vec::new(),
+            principal: None,
         }
     }
 

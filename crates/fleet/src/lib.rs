@@ -54,10 +54,11 @@ pub mod workload;
 pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleAction, ScaleDecision};
 pub use chaos::ChaosMonkey;
 pub use dispatcher::{
-    Backend, DispatchCounters, Dispatcher, DispatcherConfig, Policy, Request, Responder,
-    RetryConfig,
+    AffinityConfig, Backend, DispatchCounters, Dispatcher, DispatcherConfig, Policy, Request,
+    Responder, RetryConfig,
 };
 pub use fleet::{Fleet, FleetSpec, StorageTopology};
 pub use workload::{
-    start_closed_loop, start_open_loop, ArrivalProcess, Arrivals, Mix, SubmitFn, WorkloadStats,
+    start_closed_loop, start_open_loop, ArrivalProcess, Arrivals, Mix, ServiceTarget, SubmitFn,
+    WorkloadStats,
 };

@@ -141,6 +141,17 @@ impl Arrivals {
     }
 }
 
+/// One invocation target: a service plus the identity its requests carry.
+#[derive(Clone, Debug)]
+pub struct ServiceTarget {
+    /// Service name (the executable's base name).
+    pub service: String,
+    /// The authenticating principal the generated requests declare —
+    /// normally the service owner's grid user, which is what the fleet
+    /// dispatcher's session affinity keys on. `None` opts out.
+    pub principal: Option<String>,
+}
+
 /// What the generated requests *are*: a probabilistic upload/invoke blend.
 #[derive(Clone, Debug)]
 pub struct Mix {
@@ -152,17 +163,42 @@ pub struct Mix {
     /// Execution profile attached to workload-generated uploads.
     pub upload_profile: ExecutionProfile,
     /// Invocation targets, picked uniformly per arrival.
-    pub services: Vec<String>,
+    pub services: Vec<ServiceTarget>,
 }
 
 impl Mix {
-    /// Pure invocation traffic against the given services.
+    /// Pure invocation traffic against the given services, carrying no
+    /// identity.
     pub fn invoke_only(services: &[&str]) -> Mix {
         Mix {
             upload_fraction: 0.0,
             upload_len: 0,
             upload_profile: ExecutionProfile::quick(),
-            services: services.iter().map(|s| s.to_string()).collect(),
+            services: services
+                .iter()
+                .map(|s| ServiceTarget {
+                    service: s.to_string(),
+                    principal: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Pure invocation traffic where each `(service, owner)` request
+    /// carries the owner as its principal — the multi-tenant shape the
+    /// session-affinity bench drives.
+    pub fn invoke_as(targets: &[(&str, &str)]) -> Mix {
+        Mix {
+            upload_fraction: 0.0,
+            upload_len: 0,
+            upload_profile: ExecutionProfile::quick(),
+            services: targets
+                .iter()
+                .map(|&(s, p)| ServiceTarget {
+                    service: s.to_string(),
+                    principal: Some(p.to_string()),
+                })
+                .collect(),
         }
     }
 
@@ -176,9 +212,11 @@ impl Mix {
                 profile: self.upload_profile,
             }
         } else {
+            let target = rng.choose(&self.services);
             Request::Invoke {
-                service: rng.choose(&self.services).clone(),
+                service: target.service.clone(),
                 args: Vec::new(),
+                principal: target.principal.clone(),
             }
         }
     }
@@ -191,6 +229,9 @@ pub struct WorkloadStats {
     completed: Cell<u64>,
     faulted: Cell<u64>,
     latencies: RefCell<Vec<f64>>,
+    /// Prefix of `latencies` known to be sorted; percentile queries only
+    /// re-sort when observations arrived since the last query.
+    sorted_len: Cell<usize>,
 }
 
 impl WorkloadStats {
@@ -215,15 +256,30 @@ impl WorkloadStats {
     }
 
     /// Latency percentile (successes only), `p` in `[0, 100]`. Returns 0
-    /// when nothing completed.
+    /// when nothing completed. Amortized: the sample vector is sorted in
+    /// place at most once per batch of new observations, so pollers (the
+    /// autoscaler, sweep reporters) don't pay a full sort per query.
     pub fn latency_percentile(&self, p: f64) -> f64 {
-        let mut lat = self.latencies.borrow().clone();
+        let mut lat = self.latencies.borrow_mut();
         if lat.is_empty() {
             return 0.0;
         }
-        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        if self.sorted_len.get() < lat.len() {
+            lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            self.sorted_len.set(lat.len());
+        }
         let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
         lat[idx.min(lat.len() - 1)]
+    }
+
+    /// Mean latency of successful requests, seconds; 0 when nothing
+    /// completed.
+    pub fn latency_mean(&self) -> f64 {
+        let lat = self.latencies.borrow();
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat.iter().sum::<f64>() / lat.len() as f64
     }
 
     fn record(&self, issued_at: SimTime, now: SimTime, res: &Result<SoapValue, SoapFault>) {
@@ -528,7 +584,10 @@ mod tests {
             upload_fraction: 1.0,
             upload_len: 64,
             upload_profile: ExecutionProfile::quick(),
-            services: vec!["svc".into()],
+            services: vec![ServiceTarget {
+                service: "svc".into(),
+                principal: None,
+            }],
         };
         let mut names = std::collections::BTreeSet::new();
         for seq in 0..50 {
@@ -554,5 +613,44 @@ mod tests {
         assert_eq!(stats.faulted(), 1);
         assert!((stats.latency_percentile(50.0) - 0.03).abs() < 1e-9);
         assert!((stats.latency_percentile(100.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_percentiles_stay_correct_when_queries_interleave_records() {
+        // the sort memo must invalidate on every new observation, even
+        // when a poller queries between records (the autoscaler pattern)
+        let stats = WorkloadStats::default();
+        let mut max_s = 0.0f64;
+        for ms in [500u64, 100, 900, 300, 700, 200, 800, 400, 600, 1000] {
+            stats.record(
+                SimTime::ZERO,
+                SimTime::ZERO + Duration::from_millis(ms),
+                &Ok(SoapValue::Bool(true)),
+            );
+            max_s = max_s.max(ms as f64 / 1e3);
+            // query after every record: each answer must be the true max
+            assert!((stats.latency_percentile(100.0) - max_s).abs() < 1e-9);
+        }
+        assert!((stats.latency_percentile(0.0) - 0.1).abs() < 1e-9);
+        // 10 samples: index round(0.5 * 9) = 5 → the 0.6 s observation
+        assert!((stats.latency_percentile(50.0) - 0.6).abs() < 1e-9);
+        assert!((stats.latency_mean() - 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invoke_as_requests_carry_their_owner_as_principal() {
+        let mut rng = Rng::new(7);
+        let mix = Mix::invoke_as(&[("app0", "user0"), ("app1", "user1")]);
+        for seq in 0..20 {
+            match mix.draw(seq, &mut rng) {
+                Request::Invoke {
+                    service, principal, ..
+                } => {
+                    let expect = service.replace("app", "user");
+                    assert_eq!(principal.as_deref(), Some(expect.as_str()));
+                }
+                Request::Upload { .. } => panic!("invoke_as never uploads"),
+            }
+        }
     }
 }

@@ -12,7 +12,8 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use fleet::{
-    Autoscaler, AutoscalerConfig, ChaosMonkey, Fleet, FleetSpec, Policy, Request, StorageTopology,
+    AffinityConfig, Autoscaler, AutoscalerConfig, ChaosMonkey, Fleet, FleetSpec, Policy, Request,
+    StorageTopology,
 };
 use onserve::profile::ExecutionProfile;
 use simkit::fault::FaultPlan;
@@ -29,12 +30,18 @@ fn image() -> ApplianceImage {
     }
 }
 
-fn chaos_fleet(sim: &mut Sim, replicas: usize) -> Rc<Fleet> {
+fn chaos_fleet(sim: &mut Sim, replicas: usize, affinity: bool) -> Rc<Fleet> {
     let mut spec = FleetSpec::with_image(image());
     spec.topology = StorageTopology::Replicated;
     spec.initial_replicas = replicas;
     spec.dispatcher.policy = Policy::RoundRobin;
     spec.dispatcher.max_in_flight = 256;
+    if affinity {
+        // sticky routing pays off through the per-replica session cache,
+        // so the two switches travel together in these scenarios
+        spec.dispatcher.affinity = Some(AffinityConfig::default());
+        spec.base.config.cache_grid_sessions = true;
+    }
     Fleet::new(sim, spec)
 }
 
@@ -60,7 +67,13 @@ struct Tally {
     faulted: Cell<u64>,
 }
 
-fn spawn_user(sim: &mut Sim, fleet: Rc<Fleet>, tally: Rc<Tally>, rng: Rc<RefCell<Rng>>) {
+fn spawn_user(
+    sim: &mut Sim,
+    fleet: Rc<Fleet>,
+    tally: Rc<Tally>,
+    rng: Rc<RefCell<Rng>>,
+    principal: Option<String>,
+) {
     let think = Duration::from_millis(rng.borrow_mut().range(50, 400));
     sim.schedule(think, move |sim| {
         if tally.issued.get() >= SOAK_TOTAL {
@@ -76,21 +89,22 @@ fn spawn_user(sim: &mut Sim, fleet: Rc<Fleet>, tally: Rc<Tally>, rng: Rc<RefCell
             Request::Invoke {
                 service: "app".into(),
                 args: Vec::new(),
+                principal: principal.clone(),
             },
             Box::new(move |sim, res| {
                 match res {
                     Ok(_) => t2.completed.set(t2.completed.get() + 1),
                     Err(_) => t2.faulted.set(t2.faulted.get() + 1),
                 }
-                spawn_user(sim, f2, t2, r2);
+                spawn_user(sim, f2, t2, r2, principal);
             }),
         );
     });
 }
 
-fn soak(seed: u64) -> Fingerprint {
+fn soak(seed: u64, affinity: bool) -> Fingerprint {
     let mut sim = Sim::new(seed);
-    let fleet = chaos_fleet(&mut sim, 3);
+    let fleet = chaos_fleet(&mut sim, 3, affinity);
     sim.run();
     fleet.publish(
         &mut sim,
@@ -126,8 +140,10 @@ fn soak(seed: u64) -> Fingerprint {
         faulted: Cell::new(0),
     });
     let rng = Rc::new(RefCell::new(sim.rng().fork()));
-    for _ in 0..SOAK_USERS {
-        spawn_user(&mut sim, Rc::clone(&fleet), Rc::clone(&tally), Rc::clone(&rng));
+    for i in 0..SOAK_USERS {
+        // with affinity on, every user is a distinct sticky principal
+        let principal = affinity.then(|| format!("user{i}"));
+        spawn_user(&mut sim, Rc::clone(&fleet), Rc::clone(&tally), Rc::clone(&rng), principal);
     }
     sim.run();
 
@@ -170,9 +186,24 @@ fn soak(seed: u64) -> Fingerprint {
 #[test]
 fn soak_10k_requests_conserved_under_poisson_crashes_and_deterministic() {
     const SEED: u64 = 0x50a4;
-    let first = soak(SEED);
-    let second = soak(SEED);
+    let first = soak(SEED, false);
+    let second = soak(SEED, false);
     assert_eq!(first, second, "same-seed chaos soak must replay exactly");
+    assert!(first.lost > 0, "chaos actually happened: {first:?}");
+    assert!(
+        first.completed > SOAK_TOTAL * 9 / 10,
+        "retry should keep goodput high: {first:?}"
+    );
+}
+
+#[test]
+fn soak_10k_requests_conserved_and_deterministic_with_affinity() {
+    // same chaos, sticky routing on: conservation and same-seed
+    // byte-identical replay must survive the affinity table's bookkeeping
+    const SEED: u64 = 0x50a5;
+    let first = soak(SEED, true);
+    let second = soak(SEED, true);
+    assert_eq!(first, second, "same-seed affinity soak must replay exactly");
     assert!(first.lost > 0, "chaos actually happened: {first:?}");
     assert!(
         first.completed > SOAK_TOTAL * 9 / 10,
@@ -186,7 +217,7 @@ fn soak_10k_requests_conserved_under_poisson_crashes_and_deterministic() {
 fn crash_retry_success_emits_replica_lost_and_retry_spans() {
     let mut sim = Sim::new(77);
     sim.enable_telemetry();
-    let fleet = chaos_fleet(&mut sim, 2);
+    let fleet = chaos_fleet(&mut sim, 2, false);
     sim.run();
     fleet.publish(
         &mut sim,
@@ -205,6 +236,7 @@ fn crash_retry_success_emits_replica_lost_and_retry_spans() {
             Request::Invoke {
                 service: "slow".into(),
                 args: Vec::new(),
+                principal: None,
             },
             Box::new(move |_, res| {
                 assert!(res.is_ok(), "{res:?}");
@@ -242,4 +274,86 @@ fn crash_retry_success_emits_replica_lost_and_retry_spans() {
     let check = validate_chrome_trace(&sim.export_chrome_trace()).expect("well-formed trace");
     assert!(check.events > 0);
     assert_eq!(check.begins, check.ends, "unbalanced B/E events");
+}
+
+/// A sticky user whose pinned replica crashes mid-request is retried on the
+/// survivor and re-authenticates there exactly once — the session cache
+/// absorbs every later request, so the crash costs one credential exchange,
+/// not one per request.
+#[test]
+fn sticky_replica_crash_retries_on_survivor_and_reauthenticates_once() {
+    let mut sim = Sim::new(78);
+    sim.enable_telemetry();
+    let fleet = chaos_fleet(&mut sim, 2, true);
+    sim.run();
+    fleet.publish(
+        &mut sim,
+        "slow.exe",
+        1024 * 1024,
+        ExecutionProfile::quick().lasting(Duration::from_secs(30)),
+        |_| {},
+    );
+    sim.run();
+    let auth_spans =
+        |sim: &Sim| sim.telemetry().expect("telemetry on").spans_named("agent.authenticate").len();
+    let invoke_as_alice = |sim: &mut Sim, fleet: &Rc<Fleet>, ok: &Rc<Cell<u32>>| {
+        let ok = Rc::clone(ok);
+        fleet.dispatcher().clone().submit(
+            sim,
+            Request::Invoke {
+                service: "slow".into(),
+                args: Vec::new(),
+                principal: Some("alice".into()),
+            },
+            Box::new(move |_, res| {
+                assert!(res.is_ok(), "{res:?}");
+                ok.set(ok.get() + 1);
+            }),
+        );
+    };
+    let ok = Rc::new(Cell::new(0u32));
+
+    // request 1 pins alice to a replica and authenticates there once
+    let base = auth_spans(&sim);
+    invoke_as_alice(&mut sim, &fleet, &ok);
+    sim.run();
+    assert_eq!(ok.get(), 1);
+    assert_eq!(auth_spans(&sim), base + 1, "first request authenticates once");
+    let t = sim.telemetry().expect("telemetry on");
+    let dispatches = t.spans_named("dispatcher.dispatch");
+    let Some(AttrValue::Str(pinned)) =
+        t.span(*dispatches.last().expect("dispatched")).expect("resolvable").attr("replica").cloned()
+    else {
+        panic!("dispatch span records the chosen replica")
+    };
+
+    // request 2 heads for the pinned replica; kill it mid-flight
+    invoke_as_alice(&mut sim, &fleet, &ok);
+    let fleet2 = Rc::clone(&fleet);
+    let victim = pinned.clone();
+    sim.schedule(Duration::from_secs(5), move |sim| {
+        assert!(fleet2.crash_replica(sim, &victim));
+    });
+    sim.run();
+    assert_eq!(ok.get(), 2, "retry must answer the interrupted request");
+    // the retry re-pinned onto the survivor and authenticated there — once
+    assert_eq!(auth_spans(&sim), base + 2, "crash costs exactly one re-auth");
+    assert_eq!(fleet.dispatcher().counters().affinity_repins, 1);
+
+    // request 3 rides the survivor's cached session: no new credential work
+    invoke_as_alice(&mut sim, &fleet, &ok);
+    sim.run();
+    assert_eq!(ok.get(), 3);
+    assert_eq!(auth_spans(&sim), base + 2, "cached session absorbs request 3");
+    assert!(fleet.dispatcher().counters().affinity_hits >= 1);
+    // and the retry trail blames the dead replica
+    let t = sim.telemetry().expect("telemetry on");
+    let retries = t.spans_named("dispatcher.retry");
+    assert!(!retries.is_empty());
+    for id in retries {
+        assert_eq!(
+            t.span(id).expect("resolvable").attr("replica"),
+            Some(&AttrValue::Str(pinned.clone()))
+        );
+    }
 }

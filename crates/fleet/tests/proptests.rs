@@ -84,7 +84,7 @@ proptest! {
                             profile: ExecutionProfile::quick(),
                         }
                     } else {
-                        Request::Invoke { service: "svc".into(), args: Vec::new() }
+                        Request::Invoke { service: "svc".into(), args: Vec::new(), principal: None }
                     };
                     let fired = Cell::new(false);
                     d2.submit(sim, req, Box::new(move |_, _| {
@@ -138,7 +138,7 @@ proptest! {
             sim.schedule(Duration::from_millis(at_ms), move |sim| {
                 d2.submit(
                     sim,
-                    Request::Invoke { service: "svc".into(), args: Vec::new() },
+                    Request::Invoke { service: "svc".into(), args: Vec::new(), principal: None },
                     Box::new(|_, _| {}),
                 );
                 hw.set(hw.get().max(d2.in_flight()));
@@ -217,7 +217,7 @@ proptest! {
                 sim.schedule(Duration::from_millis(at_ms), move |sim| {
                     d2.submit(
                         sim,
-                        Request::Invoke { service: "svc".into(), args: Vec::new() },
+                        Request::Invoke { service: "svc".into(), args: Vec::new(), principal: None },
                         Box::new(move |_, _| a.set(a.get() + 1)),
                     );
                 });
@@ -276,5 +276,110 @@ impl Backend for StampingEcho {
     fn serve(&self, sim: &mut Sim, _req: Request, done: Responder) {
         self.log.borrow_mut().push(sim.now());
         sim.schedule(self.delay, move |sim| done(sim, Ok(SoapValue::Bool(true))));
+    }
+}
+
+proptest! {
+    /// Session affinity must never override liveness: under an arbitrary
+    /// seeded fault plan (ejects) plus arbitrary drains, a pinned request
+    /// is never routed to an ejected or draining replica — no serve call
+    /// lands on a replica after its first eject/drain instant. Every routed
+    /// attempt records exactly one affinity outcome, and conservation holds.
+    #[test]
+    fn affinity_never_routes_to_ejected_or_draining_replicas(
+        seed in any::<u64>(),
+        mean_gap_ms in 100u64..1_500,
+        n_backends in 2usize..5,
+        arrivals in proptest::collection::vec((0u64..2_000, 0usize..6), 1..40),
+        drains in proptest::collection::vec((0u64..2_000, 0usize..4), 0..3),
+    ) {
+        let mut sim = Sim::new(seed);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            max_in_flight: 64,
+            retry: Some(RetryConfig {
+                max_retries: 2,
+                base_backoff: Duration::from_millis(50),
+                max_backoff: Duration::from_millis(400),
+                jitter: 0.2,
+            }),
+            affinity: Some(fleet::AffinityConfig::default()),
+            ..DispatcherConfig::default()
+        });
+        let serves: Vec<Rc<RefCell<Vec<SimTime>>>> =
+            (0..n_backends).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
+        for (i, log) in serves.iter().enumerate() {
+            d.add_backend(Rc::new(StampingEcho {
+                name: format!("r{i}"),
+                delay: Duration::from_millis(80),
+                log: Rc::clone(log),
+            }));
+        }
+        // the cutoff for "no new work" per replica is its earliest eject or
+        // drain instant: both stop new serves (drain keeps only what was
+        // already dispatched, and those serve calls happened before it)
+        let mut cutoff: HashMap<usize, SimTime> = HashMap::new();
+        let plan = FaultPlan::new(seed)
+            .poisson_crashes(Duration::from_millis(mean_gap_ms), Duration::from_secs(2));
+        let mut victims = plan.derived_rng(0xe1ec);
+        for offset in plan.crash_times() {
+            let idx = victims.below(n_backends as u64) as usize;
+            let d2 = Rc::clone(&d);
+            let name = format!("r{idx}");
+            sim.schedule(offset, move |sim| {
+                let _ = d2.eject_backend(sim, &name);
+            });
+            let at = SimTime::ZERO + offset;
+            cutoff.entry(idx).and_modify(|t| *t = (*t).min(at)).or_insert(at);
+        }
+        for &(at_ms, idx) in &drains {
+            let idx = idx % n_backends;
+            let d2 = Rc::clone(&d);
+            let name = format!("r{idx}");
+            sim.schedule(Duration::from_millis(at_ms), move |sim| {
+                let _ = d2.remove_backend(sim, &name);
+            });
+            let at = SimTime::ZERO + Duration::from_millis(at_ms);
+            cutoff.entry(idx).and_modify(|t| *t = (*t).min(at)).or_insert(at);
+        }
+        let answered = Rc::new(Cell::new(0u64));
+        for &(at_ms, user) in &arrivals {
+            let d2 = Rc::clone(&d);
+            let a = Rc::clone(&answered);
+            sim.schedule(Duration::from_millis(at_ms), move |sim| {
+                d2.submit(
+                    sim,
+                    Request::Invoke {
+                        service: "svc".into(),
+                        args: Vec::new(),
+                        principal: Some(format!("u{user}")),
+                    },
+                    Box::new(move |_, _| a.set(a.get() + 1)),
+                );
+            });
+        }
+        sim.run();
+        // the pinned-routing safety property: no serve past the cutoff
+        for (idx, log) in serves.iter().enumerate() {
+            if let Some(&at) = cutoff.get(&idx) {
+                for &t in log.borrow().iter() {
+                    prop_assert!(
+                        t <= at,
+                        "r{idx} served pinned work at {:?} after loss/drain at {:?}",
+                        t, at
+                    );
+                }
+            }
+        }
+        // every routed attempt (== every serve call) recorded exactly one
+        // affinity outcome, since every request here carries a principal
+        let c = d.counters();
+        let routed: u64 = serves.iter().map(|l| l.borrow().len() as u64).sum();
+        prop_assert_eq!(c.affinity_hits + c.affinity_misses + c.affinity_repins, routed);
+        let total = arrivals.len() as u64;
+        prop_assert_eq!(answered.get(), total, "answered != submitted");
+        prop_assert_eq!(c.accepted + c.shed, total, "door ledger");
+        prop_assert_eq!(c.accepted, c.completed + c.faulted, "outcome ledger");
+        prop_assert_eq!(d.in_flight(), 0, "in-flight after drain");
     }
 }

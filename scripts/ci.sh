@@ -32,4 +32,11 @@ cp target/experiments/chaos.csv target/experiments/chaos-run1.csv
 cargo run --release -q -p onserve-bench --bin chaos > /dev/null
 cmp target/experiments/chaos-run1.csv target/experiments/chaos.csv
 
+echo "==> affinity tier (golden + determinism)"
+cargo test -q -p onserve-bench --test golden_determinism affinity_sweep_matches_golden
+cargo run --release -q -p onserve-bench --bin affinity > /dev/null
+cp target/experiments/affinity.csv target/experiments/affinity-run1.csv
+cargo run --release -q -p onserve-bench --bin affinity > /dev/null
+cmp target/experiments/affinity-run1.csv target/experiments/affinity.csv
+
 echo "CI OK"

@@ -607,3 +607,56 @@ fn exhausted_allocation_surfaces_at_the_service_consumer() {
         .iter()
         .all(|(_, _, a)| a.used_core_hours == 0.0));
 }
+
+#[test]
+fn expired_cached_sessions_are_evicted_and_logged_out() {
+    // Regression: the session cache used to drop expired SessionIds without
+    // telling the agent, leaking one dead proxy entry in the agent's session
+    // map per expiry. With a 60 s proxy lifetime every invoke finds the
+    // previous session stale (the cache demands 600 s of remaining life), so
+    // each round exercises the evict-and-logout path once.
+    let mut sim = Sim::new(14);
+    let spec = DeploymentSpec {
+        config: OnServeConfig {
+            cache_grid_sessions: true,
+            ..OnServeConfig::default()
+        },
+        agent: cyberaide::agent::AgentConfig {
+            proxy_lifetime: Duration::from_secs(60),
+            ..cyberaide::agent::AgentConfig::default()
+        },
+        ..DeploymentSpec::default()
+    };
+    let d = Deployment::build(&mut sim, &spec);
+    upload_and_publish(
+        &mut sim,
+        &d,
+        "leaky.exe",
+        8192,
+        ExecutionProfile::quick().producing(1.0 * KB),
+        &[],
+    );
+    const ROUNDS: u64 = 8;
+    for _ in 0..ROUNDS {
+        let ok = Rc::new(Cell::new(false));
+        let o = ok.clone();
+        d.invoke(&mut sim, "leaky", &[], move |_, r| {
+            r.expect("invoke");
+            o.set(true);
+        });
+        sim.run();
+        assert!(ok.get());
+        assert!(
+            d.agent.session_count() <= 1,
+            "agent session map must stay bounded, got {}",
+            d.agent.session_count()
+        );
+    }
+    let (auths, hits, evictions) = d.onserve.session_counters();
+    // every round re-authenticated (the cached session is always stale) and
+    // every stale entry after the first was evicted *and* logged out
+    assert_eq!(auths, ROUNDS);
+    assert_eq!(hits, 0);
+    assert_eq!(evictions, ROUNDS - 1);
+    assert!(d.agent.session_count() <= 1);
+}
