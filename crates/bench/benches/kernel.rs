@@ -9,6 +9,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use onserve::deployment::DeploymentSpec;
 use onserve::profile::ExecutionProfile;
 use onserve_bench::{Runner, KB};
+use simkit::wheel::TimerWheel;
 use simkit::{Duration, PsServer, Recorder, ServerConfig, Sim, SimTime};
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -20,6 +21,50 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut sim = Sim::new(1);
             for i in 0..EVENTS {
                 sim.schedule(Duration::from_micros(i), |_| {});
+            }
+            sim.run();
+            black_box(sim.now())
+        })
+    });
+    g.finish();
+}
+
+fn bench_wheel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    const EVENTS: u64 = 1024;
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("wheel_push_pop_1024", |b| {
+        b.iter(|| {
+            let mut w: TimerWheel<u32> = TimerWheel::new();
+            for i in 0..EVENTS {
+                w.push(i, i, 0);
+            }
+            while w.pop_next(u64::MAX, |_| true).is_some() {}
+            black_box(w.cursor())
+        })
+    });
+    const CASCADES: u64 = 512;
+    g.throughput(Throughput::Elements(CASCADES));
+    g.bench_function("wheel_cascade_512", |b| {
+        b.iter(|| {
+            let mut w: TimerWheel<u32> = TimerWheel::new();
+            for i in 0..CASCADES {
+                w.push(i * 65_536, i, 0);
+            }
+            while w.pop_next(u64::MAX, |_| true).is_some() {}
+            black_box(w.cursor())
+        })
+    });
+    const TICKS: u64 = 16;
+    const PER_TICK: u64 = 64;
+    g.throughput(Throughput::Elements(TICKS * PER_TICK));
+    g.bench_function("same_tick_batch_64x16", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(4);
+            for t in 0..TICKS {
+                for _ in 0..PER_TICK {
+                    sim.schedule(Duration::from_micros(t), |_| {});
+                }
             }
             sim.run();
             black_box(sim.now())
@@ -117,6 +162,7 @@ fn bench_fig6_pipeline(c: &mut Criterion) {
 criterion_group!(
     kernel,
     bench_event_queue,
+    bench_wheel,
     bench_ps_flows,
     bench_recorder,
     bench_telemetry,

@@ -33,6 +33,7 @@ use std::time::{Duration as WallDuration, Instant};
 use onserve::deployment::DeploymentSpec;
 use onserve::profile::ExecutionProfile;
 use onserve_bench::{Runner, KB};
+use simkit::wheel::TimerWheel;
 use simkit::{Duration, PsServer, Recorder, ServerConfig, Sim};
 
 /// One measured scenario.
@@ -106,6 +107,56 @@ fn bench_event_queue() -> Entry {
         }
         sim.run();
         EVENTS
+    })
+}
+
+/// The raw timer wheel, no boxed closures or kernel bookkeeping — the
+/// structural cost `engine.queue_push_pop` pays on top of its event
+/// dispatch. Same shape as that scenario: 1024 entries at distinct
+/// ascending ticks, then a full drain. One op = one entry through.
+fn bench_wheel_push_pop() -> Entry {
+    const EVENTS: u64 = 1024;
+    measure("engine.wheel_push_pop", 20, || {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        for i in 0..EVENTS {
+            w.push(i, i, 0);
+        }
+        while w.pop_next(u64::MAX, |_| true).is_some() {}
+        EVENTS
+    })
+}
+
+/// Worst-case wheel traffic: entries spread 65536 ticks apart land on
+/// levels 2–4 and must cascade down level by level before level 0 can
+/// stage them. One op = one entry pushed, cascaded, and popped.
+fn bench_wheel_cascade() -> Entry {
+    const EVENTS: u64 = 512;
+    measure("engine.wheel_cascade", 20, || {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        for i in 0..EVENTS {
+            w.push(i * 65_536, i, 0);
+        }
+        while w.pop_next(u64::MAX, |_| true).is_some() {}
+        EVENTS
+    })
+}
+
+/// Same-tick batch execution through the full kernel: 64 events per tick
+/// across 16 ticks, drained by `run`'s batched loop (one slot scan and
+/// one clock update per tick instead of one queue pop per event). One op
+/// = one executed event.
+fn bench_same_tick_batch() -> Entry {
+    const TICKS: u64 = 16;
+    const PER_TICK: u64 = 64;
+    measure("engine.same_tick_batch_64", 20, || {
+        let mut sim = Sim::new(4);
+        for t in 0..TICKS {
+            for _ in 0..PER_TICK {
+                sim.schedule(Duration::from_micros(t), |_| {});
+            }
+        }
+        sim.run();
+        TICKS * PER_TICK
     })
 }
 
@@ -210,6 +261,9 @@ fn main() {
     let check = std::env::args().any(|a| a == "--check");
     let scenarios: Vec<fn() -> Entry> = vec![
         bench_event_queue,
+        bench_wheel_push_pop,
+        bench_wheel_cascade,
+        bench_same_tick_batch,
         || bench_ps_flows("server.ps_flows_2", 2),
         || bench_ps_flows("server.ps_flows_16", 16),
         || bench_ps_flows("server.ps_flows_64", 64),

@@ -248,6 +248,49 @@ fn chaos_sweep_matches_golden() {
     assert_eq!(off.retried, 0, "retry-off must never retry");
 }
 
+/// The million-principal experiment's CI shrink must be byte-stable per
+/// seed, and the shape it shares with the full run must hold: a churning
+/// pin table (population ≫ capacity is only true at full scale, but even
+/// here every distinct principal pins once), conservation at the front
+/// door, and a population actually sampled broadly.
+#[test]
+fn millionuser_ci_matches_golden() {
+    use onserve_bench::millionuser;
+    let (point, _host) = millionuser::run_point(millionuser::CI);
+    assert_eq!(
+        millionuser::csv(std::slice::from_ref(&point)),
+        golden("millionuser.csv"),
+        "millionuser CI CSV drifted"
+    );
+    assert_eq!(
+        point.issued,
+        point.completed + point.faulted,
+        "every issued request must settle"
+    );
+    assert_eq!(point.faulted, 0, "no faults in a quiet fleet");
+    assert_eq!(
+        point.affinity_misses, point.distinct_principals,
+        "each distinct principal pins exactly once below pin-table capacity"
+    );
+    assert!(
+        point.affinity_hits > 0,
+        "repeat principals must ride their pins"
+    );
+    // With n draws from a population p, distinct ≈ p(1 − e^(−n/p)); at the
+    // CI scale that is well over half the population.
+    assert!(
+        point.distinct_principals * 2 > point.population,
+        "CI run must sample most of its population ({} of {})",
+        point.distinct_principals,
+        point.population
+    );
+    assert!(
+        point.events > 500_000,
+        "CI run must be kernel-heavy, saw {} events",
+        point.events
+    );
+}
+
 #[test]
 fn fig8_curves_match_golden_at_both_sampling_rates() {
     let fine = fig8_curves(Duration::from_millis(200));

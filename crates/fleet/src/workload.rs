@@ -164,6 +164,13 @@ pub struct Mix {
     pub upload_profile: ExecutionProfile,
     /// Invocation targets, picked uniformly per arrival.
     pub services: Vec<ServiceTarget>,
+    /// When set, every drawn invocation carries a synthetic principal
+    /// `u{k}` with `k` drawn uniformly from `0..population`, overriding
+    /// the target's own principal. This is the million-user shape: the
+    /// principal is purely the dispatcher's sticky-routing key (services
+    /// authenticate as their owner, not the caller), so a population needs
+    /// no per-user grid enrolment.
+    pub principal_population: Option<u64>,
 }
 
 impl Mix {
@@ -181,6 +188,7 @@ impl Mix {
                     principal: None,
                 })
                 .collect(),
+            principal_population: None,
         }
     }
 
@@ -199,7 +207,19 @@ impl Mix {
                     principal: Some(p.to_string()),
                 })
                 .collect(),
+            principal_population: None,
         }
+    }
+
+    /// Invocation traffic against `services` where each request carries a
+    /// principal drawn uniformly from a synthetic population of
+    /// `population` users (`u0` .. `u{population-1}`) — the
+    /// million-principal bench shape.
+    pub fn invoke_population(services: &[&str], population: u64) -> Mix {
+        assert!(population > 0, "population must be positive");
+        let mut mix = Mix::invoke_only(services);
+        mix.principal_population = Some(population);
+        mix
     }
 
     /// Draw one request. `seq` uniquifies upload file names — replica
@@ -213,10 +233,14 @@ impl Mix {
             }
         } else {
             let target = rng.choose(&self.services);
+            let principal = match self.principal_population {
+                Some(population) => Some(format!("u{}", rng.below(population))),
+                None => target.principal.clone(),
+            };
             Request::Invoke {
                 service: target.service.clone(),
                 args: Vec::new(),
-                principal: target.principal.clone(),
+                principal,
             }
         }
     }
@@ -588,6 +612,7 @@ mod tests {
                 service: "svc".into(),
                 principal: None,
             }],
+            principal_population: None,
         };
         let mut names = std::collections::BTreeSet::new();
         for seq in 0..50 {

@@ -6,14 +6,21 @@
 //! metric [`Recorder`] and the seeded [`Rng`]. Two events scheduled for the
 //! same instant fire in scheduling order (FIFO tie-break), which makes runs
 //! reproducible.
+//!
+//! The queue is a hierarchical timer wheel ([`crate::wheel`]): push and pop
+//! are O(1) amortized instead of the binary heap's O(log n), and a whole
+//! tick's worth of simultaneous events drains in one slot scan, which
+//! [`Sim::run`] exploits to execute same-tick batches under a single clock
+//! update. Pop order is exactly the old heap's `(time, seq)` total order —
+//! the golden CSVs of every bench tier are byte-identical either way.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 
 use crate::metrics::Recorder;
 use crate::rng::Rng;
 use crate::telemetry::{AttrValue, KernelProfile, ServerBusy, SpanId, Telemetry};
 use crate::time::{Duration, SimTime};
+use crate::wheel::{Entry, TimerWheel};
 
 /// A pending event: a one-shot closure over the simulator.
 pub type Event = Box<dyn FnOnce(&mut Sim)>;
@@ -51,48 +58,20 @@ type SeqSet = HashSet<u64, std::hash::BuildHasherDefault<SeqHasher>>;
 /// * `cancel_event` removes the id from the set and returns whether it was
 ///   still a member — so cancelling an id whose event already **fired**
 ///   returns `false` (the pop removed it), as does cancelling twice.
-/// * Cancelled entries stay physically in the heap until their instant
-///   comes up, at which point they are skipped without advancing the
-///   clock; no tombstone state survives a run.
+/// * Cancelled entries stay physically parked in the timer wheel until
+///   their instant comes up, at which point they are skipped without
+///   advancing the clock; no tombstone state survives a run.
 /// * Sequence numbers are never reused, so a stale `EventId` can never
 ///   alias a newer event.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
-
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    f: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// The discrete-event simulator.
 pub struct Sim {
     now: SimTime,
     seq: u64,
     executed: u64,
-    queue: BinaryHeap<Scheduled>,
+    queue: TimerWheel<Event>,
     /// Seqs of queued events that have neither fired nor been cancelled.
     /// Membership is the single source of truth for liveness: ids leave the
     /// set on cancel *or* on pop, so a cancel after firing is a clean `false`
@@ -119,7 +98,7 @@ impl Sim {
             now: SimTime::ZERO,
             seq: 0,
             executed: 0,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             pending_ids: SeqSet::default(),
             recorder: Recorder::new(Duration::from_secs(3)),
             rng: Rng::new(seed),
@@ -161,9 +140,11 @@ impl Sim {
         self.executed
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending — *live* events only. Cancelled
+    /// events lazily parked in the queue until their instant comes up do
+    /// not count (they used to, which overcounted after any cancel).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.pending_ids.len()
     }
 
     /// Schedule `f` to run after `delay`.
@@ -184,11 +165,7 @@ impl Sim {
         let seq = self.seq;
         self.seq += 1;
         self.pending_ids.insert(seq);
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            f: Box::new(f),
-        });
+        self.queue.push(at.ticks(), seq, Box::new(f));
         if self.queue.len() > self.queue_high_water {
             self.queue_high_water = self.queue.len();
         }
@@ -224,50 +201,70 @@ impl Sim {
     }
 
     /// Execute the next pending event, advancing the clock to it. Returns
-    /// `false` when the queue is empty.
+    /// `false` when the queue is empty. Cancelled events are dropped
+    /// silently without advancing time.
     pub fn step(&mut self) -> bool {
-        while let Some(ev) = self.queue.pop() {
-            if !self.pending_ids.remove(&ev.seq) {
-                continue; // cancelled: drop silently, don't advance time
+        let next = {
+            let ids = &self.pending_ids;
+            self.queue.pop_next(u64::MAX, |seq| ids.contains(&seq))
+        };
+        match next {
+            Some(ev) => {
+                self.pending_ids.remove(&ev.seq);
+                debug_assert!(ev.at >= self.now.ticks(), "event queue went backwards");
+                self.now = SimTime::from_ticks(ev.at);
+                self.executed += 1;
+                (ev.item)(self);
+                true
             }
-            debug_assert!(ev.at >= self.now, "event queue went backwards");
-            self.now = ev.at;
-            self.executed += 1;
-            (ev.f)(self);
-            return true;
+            None => false,
         }
-        false
     }
 
     /// Run until the queue drains. Returns the number of events executed by
     /// this call.
+    ///
+    /// Events are executed in same-tick batches: the wheel drains every
+    /// event sharing the next instant in one slot scan, and the clock is
+    /// updated once per instant rather than once per event. The execution
+    /// order is identical to repeated [`Sim::step`] — a batch member that
+    /// cancels a later member suppresses it, and one that schedules more
+    /// work at the same instant extends the batch.
     pub fn run(&mut self) -> u64 {
-        let before = self.executed;
-        while self.step() {}
-        self.executed - before
+        self.drain_batched(u64::MAX)
     }
 
     /// Run every event scheduled at or before `deadline`, then advance the
     /// clock to exactly `deadline`. Later events stay queued.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
-        let before = self.executed;
-        while let Some(head) = self.queue.peek() {
-            if head.at > deadline {
-                break;
-            }
-            // pop exactly one due entry (step()'s skip-loop could otherwise
-            // run past the deadline when the head is cancelled)
-            let ev = self.queue.pop().expect("peeked entry present");
-            if !self.pending_ids.remove(&ev.seq) {
-                continue;
-            }
-            debug_assert!(ev.at >= self.now, "event queue went backwards");
-            self.now = ev.at;
-            self.executed += 1;
-            (ev.f)(self);
-        }
+        let n = self.drain_batched(deadline.ticks());
         if self.now < deadline {
             self.now = deadline;
+        }
+        n
+    }
+
+    /// Shared batched drain: execute every live event due at or before
+    /// `limit` (in `(time, seq)` order), returning how many ran.
+    fn drain_batched(&mut self, limit: u64) -> u64 {
+        let before = self.executed;
+        let mut batch: Vec<Entry<Event>> = Vec::new();
+        loop {
+            let tick = {
+                let ids = &self.pending_ids;
+                self.queue.pop_tick_batch(limit, |seq| ids.contains(&seq), &mut batch)
+            };
+            let Some(tick) = tick else { break };
+            debug_assert!(tick >= self.now.ticks(), "event queue went backwards");
+            self.now = SimTime::from_ticks(tick);
+            for ev in batch.drain(..) {
+                // settle against the live-id set per event: an earlier
+                // batch member may have cancelled a later one
+                if self.pending_ids.remove(&ev.seq) {
+                    self.executed += 1;
+                    (ev.item)(self);
+                }
+            }
         }
         self.executed - before
     }
@@ -572,6 +569,68 @@ mod tests {
         // the queue drained at the earlier event; the cancelled one did not
         // drag the clock to t=100
         assert_eq!(sim.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn pending_reports_live_events_not_parked_ones() {
+        // regression: pending() used to return the physical queue length,
+        // which counts cancelled events still lazily parked in the queue
+        let mut sim = Sim::new(0);
+        let mut ids = Vec::new();
+        for d in 1..=3u64 {
+            ids.push(sim.schedule(Duration::from_secs(d), |_| {}));
+        }
+        assert!(sim.cancel_event(ids[1]));
+        assert_eq!(sim.pending(), 2, "cancelled event must not count");
+        assert_eq!(sim.run(), 2);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn same_tick_batch_matches_step_semantics() {
+        // run()'s batched drain must be indistinguishable from step():
+        // same-tick follow-ups extend the batch, in-batch cancels suppress
+        let build = |sim: &mut Sim, log: &Rc<RefCell<Vec<u32>>>| {
+            let victim: Rc<RefCell<Option<EventId>>> = Rc::new(RefCell::new(None));
+            for i in 0..4u32 {
+                let log = log.clone();
+                let victim2 = victim.clone();
+                let id = sim.schedule(Duration::from_secs(1), move |sim| {
+                    log.borrow_mut().push(i);
+                    if i == 0 {
+                        // cancel a later member of the very batch running now
+                        let v = victim2.borrow().expect("victim scheduled");
+                        assert!(sim.cancel_event(v));
+                        // and extend the batch with a same-instant follow-up
+                        let log = log.clone();
+                        sim.schedule(Duration::ZERO, move |_| log.borrow_mut().push(99));
+                    }
+                });
+                if i == 2 {
+                    *victim.borrow_mut() = Some(id);
+                }
+            }
+            let log = log.clone();
+            sim.schedule(Duration::from_millis(500), move |_| log.borrow_mut().push(50));
+        };
+        let run_log = {
+            let mut sim = Sim::new(0);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            build(&mut sim, &log);
+            sim.run();
+            let out = log.borrow().clone();
+            out
+        };
+        let step_log = {
+            let mut sim = Sim::new(0);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            build(&mut sim, &log);
+            while sim.step() {}
+            let out = log.borrow().clone();
+            out
+        };
+        assert_eq!(run_log, vec![50, 0, 1, 3, 99]);
+        assert_eq!(run_log, step_log);
     }
 
     #[test]

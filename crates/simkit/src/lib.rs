@@ -11,7 +11,8 @@
 //! The kernel provides:
 //!
 //! * [`Sim`] — the event loop: a virtual clock plus a stable-ordered event
-//!   queue of boxed closures ([`engine`]).
+//!   queue of boxed closures ([`engine`]), backed by an O(1)-amortized
+//!   hierarchical timer wheel ([`wheel`]) with same-tick batch draining.
 //! * [`PsServer`] / [`FifoServer`] — queuing resources ([`server`]). A
 //!   processor-sharing server models fair-shared capacity (TCP-like flows on
 //!   a network link, timeslicing on a CPU); a FIFO server models serial
@@ -56,6 +57,7 @@ pub mod server;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
+pub mod wheel;
 
 pub use engine::Sim;
 pub use fault::{CrashSchedule, FaultConfig, FaultCounts, FaultInjector, FaultPlan};

@@ -39,4 +39,11 @@ cp target/experiments/affinity.csv target/experiments/affinity-run1.csv
 cargo run --release -q -p onserve-bench --bin affinity > /dev/null
 cmp target/experiments/affinity-run1.csv target/experiments/affinity.csv
 
+echo "==> millionuser tier (golden + determinism, CI scale)"
+cargo test -q -p onserve-bench --test golden_determinism millionuser_ci_matches_golden
+cargo run --release -q -p onserve-bench --bin millionuser -- --ci > /dev/null
+cp target/experiments/millionuser.csv target/experiments/millionuser-run1.csv
+cargo run --release -q -p onserve-bench --bin millionuser -- --ci > /dev/null
+cmp target/experiments/millionuser-run1.csv target/experiments/millionuser.csv
+
 echo "CI OK"
