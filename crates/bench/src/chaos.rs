@@ -123,6 +123,7 @@ pub fn run_point(retry: bool) -> ChaosPoint {
             scale_down_load: 0.0,
             min_replicas: 2,
             max_replicas: 6,
+            ..AutoscalerConfig::default()
         },
         until,
     );

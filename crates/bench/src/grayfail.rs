@@ -1,0 +1,259 @@
+//! The gray-failure experiment: tail latency under a pinned slow-replica
+//! schedule, with the health-plane detector on vs off.
+//!
+//! A three-replica fleet serves steadily paced invocations (~15.5 s end
+//! to end each through upload-fetch + grid execution) while a seeded
+//! [`ChaosMonkey`] degrades one replica to 10× its service latency at a
+//! pinned instant. The replica keeps answering, so crash detection never
+//! fires — only the windowed health plane can see it:
+//!
+//! * detector **off** — round-robin keeps handing the victim a third of
+//!   the traffic; its queue grows without bound and the fleet-wide p99
+//!   is pinned to the degraded path for the rest of the run.
+//! * detector **on** — the peer-relative detector sees the victim's
+//!   windowed p99 sustain ≥ 3× the fleet median, probation-weights it in
+//!   the dispatcher, and after continued strikes ejects it like a crash;
+//!   the replacement-only autoscaler boots a fresh replica and the fleet
+//!   p99 recovers toward the healthy baseline.
+//!
+//! Both rows attach the [`HealthPlane`] (it is measurement either way —
+//! attachment is result-neutral); only the `on` row installs the
+//! [`GrayFailureDetector`]. The golden test pins the CSV byte-for-byte
+//! and asserts the detector row flags the victim within bounded virtual
+//! time and lands a strictly better fleet p99 than the control row.
+//!
+//! Shared by the `grayfail` binary and the golden determinism test so
+//! both always describe the same experiment.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use fleet::{
+    Autoscaler, AutoscalerConfig, ChaosMonkey, DetectorAction, Fleet, FleetSpec,
+    GrayFailureDetector, HealthConfig, HealthPlane, Policy, Request, StorageTopology,
+};
+use onserve::profile::ExecutionProfile;
+use simkit::fault::FaultPlan;
+use simkit::{Duration, Sim, SimTime, KB};
+
+use crate::fleetscale::fleet_image;
+
+/// Seed shared by both rows — the slow-strike victim and every arrival
+/// must be identical so the detector is the only variable.
+pub const SEED: u64 = 0x6772_6179;
+
+/// Replicas booted before load starts.
+pub const REPLICAS: usize = 3;
+
+/// Deterministic arrival spacing, fleet-wide. One request per 6 s
+/// against three replicas that each take ~15.5 s per request keeps the
+/// healthy pair comfortably under capacity even while it carries the
+/// probationer's share.
+pub fn arrival_gap() -> Duration {
+    Duration::from_secs(6)
+}
+
+/// Measurement window after the fleet is booted and provisioned.
+pub fn horizon() -> Duration {
+    Duration::from_secs(1200)
+}
+
+/// Offset of the pinned slow strike from the start of load.
+pub fn degrade_offset() -> Duration {
+    Duration::from_secs(120)
+}
+
+/// Latency multiplier the strike applies to the victim.
+pub const SLOW_FACTOR: f64 = 10.0;
+
+/// Windowing tuned to the appliance's real invoke latency: with the
+/// victim at 10× (~155 s per answer) the lookback must still hold its
+/// completions, or the detector would only ever see the healthy pack.
+pub fn health_config() -> HealthConfig {
+    HealthConfig {
+        window: Duration::from_secs(30),
+        ring: 16,
+        lookback: Duration::from_secs(240),
+        interval: Duration::from_secs(30),
+        latency_factor: 3.0,
+        min_samples: 2,
+        probation_strikes: 2,
+        eject_strikes: 6,
+        ..HealthConfig::default()
+    }
+}
+
+/// One measured row.
+pub struct GrayfailPoint {
+    /// Whether the gray-failure detector was installed.
+    pub detector: bool,
+    /// Requests issued by the pacer.
+    pub issued: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with a SOAP fault.
+    pub faulted: u64,
+    /// Probation events the detector raised.
+    pub probations: u64,
+    /// Ejections the detector escalated to.
+    pub ejections: u64,
+    /// Replacement replicas the autoscaler booted.
+    pub replaced: u64,
+    /// Seconds from the degrade to the first probation (-1 if never).
+    pub first_probation_s: f64,
+    /// Seconds from the degrade to the ejection (-1 if never).
+    pub first_eject_s: f64,
+    /// Fleet-wide windowed p99 over the final lookback, seconds.
+    pub fleet_p99_s: f64,
+    /// Prometheus text exposition captured at the end of the run.
+    pub prom: String,
+    /// Windowed time-series CSV captured at the end of the run.
+    pub timeseries: String,
+}
+
+fn fleet_spec() -> FleetSpec {
+    let mut spec = FleetSpec::with_image(fleet_image());
+    spec.topology = StorageTopology::Replicated;
+    spec.initial_replicas = REPLICAS;
+    spec.dispatcher.policy = Policy::RoundRobin;
+    // the victim's backlog must queue, not shed: the control row pins
+    // hundreds of requests behind the degraded replica
+    spec.dispatcher.max_in_flight = 1024;
+    spec
+}
+
+/// Fixed-interval pacer cycling three tenants, counting completions.
+fn pace(sim: &mut Sim, fleet: &Rc<Fleet>, until: SimTime, n: u64, issued: Rc<Cell<u64>>, ok: Rc<Cell<u64>>, bad: Rc<Cell<u64>>) {
+    if sim.now() > until {
+        return;
+    }
+    const TENANTS: [&str; 3] = ["alice", "bob", "carol"];
+    issued.set(issued.get() + 1);
+    let (c, f) = (Rc::clone(&ok), Rc::clone(&bad));
+    fleet.dispatcher().clone().submit(
+        sim,
+        Request::Invoke {
+            service: "app".into(),
+            args: Vec::new(),
+            principal: Some(TENANTS[(n % 3) as usize].into()),
+        },
+        Box::new(move |_, res| {
+            if res.is_ok() {
+                c.set(c.get() + 1);
+            } else {
+                f.set(f.get() + 1);
+            }
+        }),
+    );
+    let fl = Rc::clone(fleet);
+    sim.schedule(arrival_gap(), move |sim| {
+        pace(sim, &fl, until, n + 1, issued, ok, bad)
+    });
+}
+
+/// Run one row: boot, provision, attach the plane, unleash the slow
+/// strike, offer paced load, read the plane at the end.
+pub fn run_point(detector: bool) -> GrayfailPoint {
+    let mut sim = Sim::new(SEED);
+    let fleet = Fleet::new(&mut sim, fleet_spec());
+    sim.run(); // cold-start all appliances
+    fleet.publish(
+        &mut sim,
+        "app.exe",
+        64 * 1024,
+        ExecutionProfile::quick()
+            .lasting(Duration::from_millis(200))
+            .producing(16.0 * KB),
+        |_| {},
+    );
+    sim.run();
+    let plane = HealthPlane::new(health_config());
+    fleet.dispatcher().set_health_plane(Rc::clone(&plane));
+    let t0 = sim.now();
+    let until = t0 + horizon();
+    // replacement-only autoscaler: thresholds parked so Replace is the
+    // only reachable decision — capacity changes come from the detector
+    let _scaler = Autoscaler::install(
+        &mut sim,
+        &fleet,
+        AutoscalerConfig {
+            interval: Duration::from_secs(15),
+            cooldown: Duration::from_secs(60),
+            scale_up_load: f64::INFINITY,
+            scale_down_load: 0.0,
+            min_replicas: REPLICAS,
+            max_replicas: REPLICAS + 2,
+            ..AutoscalerConfig::default()
+        },
+        until,
+    );
+    let monkey = ChaosMonkey::unleash(
+        &mut sim,
+        &fleet,
+        &FaultPlan::new(SEED).slow_at(degrade_offset(), SLOW_FACTOR),
+    );
+    let sentry = detector.then(|| GrayFailureDetector::install(&mut sim, &fleet, &plane, until));
+    let issued = Rc::new(Cell::new(0u64));
+    let ok = Rc::new(Cell::new(0u64));
+    let bad = Rc::new(Cell::new(0u64));
+    pace(
+        &mut sim,
+        &fleet,
+        until,
+        0,
+        Rc::clone(&issued),
+        Rc::clone(&ok),
+        Rc::clone(&bad),
+    );
+    sim.run_until(until);
+    let end = sim.now();
+    assert_eq!(monkey.slowed(), 1, "the pinned slow strike landed");
+    let degrade_at = t0 + degrade_offset();
+    let since = |at: Option<SimTime>| at.map_or(-1.0, |t| (t - degrade_at).as_secs_f64());
+    let events = sentry.as_ref().map_or(Vec::new(), |s| s.events());
+    let first = |action: DetectorAction| {
+        events.iter().find(|e| e.action == action).map(|e| e.at)
+    };
+    GrayfailPoint {
+        detector,
+        issued: issued.get(),
+        completed: ok.get(),
+        faulted: bad.get(),
+        probations: sentry.as_ref().map_or(0, |s| s.probations() as u64),
+        ejections: sentry.as_ref().map_or(0, |s| s.ejections() as u64),
+        replaced: fleet.booted_total() - REPLICAS as u64,
+        first_probation_s: since(first(DetectorAction::Probation)),
+        first_eject_s: since(first(DetectorAction::Ejected)),
+        fleet_p99_s: plane.fleet_p99(end).unwrap_or(-1.0),
+        prom: plane.prometheus_text(end),
+        timeseries: plane.timeseries_csv(),
+    }
+}
+
+/// Run both rows (detector on, detector off) in parallel.
+pub fn sweep() -> Vec<GrayfailPoint> {
+    crate::par_sweep(&[true, false], |_, &detector| run_point(detector))
+}
+
+/// Render the sweep as the CSV committed under `tests/golden/`.
+pub fn csv(points: &[GrayfailPoint]) -> String {
+    let mut out = String::from(
+        "detector,issued,completed,faulted,probations,ejections,replaced,first_probation_s,first_eject_s,fleet_p99_s\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{:.1},{:.1},{:.4}\n",
+            if p.detector { "on" } else { "off" },
+            p.issued,
+            p.completed,
+            p.faulted,
+            p.probations,
+            p.ejections,
+            p.replaced,
+            p.first_probation_s,
+            p.first_eject_s,
+            p.fleet_p99_s,
+        ));
+    }
+    out
+}

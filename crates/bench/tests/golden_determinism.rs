@@ -341,3 +341,51 @@ fn affinity_sweep_matches_golden() {
     assert!(on.affinity_hits > 0 && off.affinity_hits == 0);
     assert_eq!(on.faulted + off.faulted, 0, "no faults in a quiet fleet");
 }
+
+/// The gray-failure experiment must be byte-stable per seed; the detector
+/// row must flag the degraded replica within bounded virtual time and land
+/// a strictly better fleet p99 than the detector-off control.
+#[test]
+fn grayfail_sweep_matches_golden() {
+    use onserve_bench::grayfail;
+    let points = grayfail::sweep();
+    assert_eq!(
+        grayfail::csv(&points),
+        golden("grayfail.csv"),
+        "grayfail CSV drifted"
+    );
+    let row = |d: bool| points.iter().find(|p| p.detector == d).expect("row");
+    let (on, off) = (row(true), row(false));
+    assert_eq!(on.issued, off.issued, "same seed must offer the same load");
+    assert!(on.probations >= 1, "the victim must reach probation");
+    assert_eq!(on.ejections, 1, "continued degradation must eject");
+    assert!(
+        on.first_probation_s >= 0.0 && on.first_probation_s <= 300.0,
+        "probation within ten detector ticks of the degrade, got +{} s",
+        on.first_probation_s
+    );
+    assert!(
+        on.first_eject_s > on.first_probation_s && on.first_eject_s <= 480.0,
+        "bounded escalation to ejection, got +{} s",
+        on.first_eject_s
+    );
+    assert!(on.replaced >= 1, "the autoscaler must replace the ejected replica");
+    assert_eq!(off.probations + off.ejections, 0, "control row takes no action");
+    assert!(
+        on.fleet_p99_s < 0.5 * off.fleet_p99_s,
+        "detector must recover the fleet p99 ({} s) well below the control ({} s)",
+        on.fleet_p99_s,
+        off.fleet_p99_s
+    );
+    // the captured exposition snapshot must satisfy the strict parser
+    let (families, samples) =
+        simkit::validate_prometheus_text(&on.prom).expect("exposition snapshot is valid");
+    assert!(
+        families >= 8 && samples > families,
+        "expected a populated exposition, got {families} families / {samples} samples"
+    );
+    assert!(
+        on.timeseries.starts_with("series,t_s,count,sum,max,p50,p95,p99\n"),
+        "time-series CSV header drifted"
+    );
+}

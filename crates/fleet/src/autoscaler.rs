@@ -30,6 +30,16 @@ pub struct AutoscalerConfig {
     pub min_replicas: usize,
     /// Ceiling.
     pub max_replicas: usize,
+    /// Also scale up when the health plane's windowed fleet p99 (seconds)
+    /// exceeds this, and never scale down while it does. Needs a
+    /// [`crate::health::HealthPlane`] attached to the dispatcher; without
+    /// one (or with `None`, the default) the controller stays purely
+    /// in-flight-driven.
+    pub scale_up_p99: Option<f64>,
+    /// Also scale up when dispatcher queued depth (attempts outstanding,
+    /// queued + serving) per effective replica exceeds this, and never
+    /// scale down while it does. `None` (the default) disables the signal.
+    pub scale_up_queue: Option<f64>,
 }
 
 impl Default for AutoscalerConfig {
@@ -41,6 +51,8 @@ impl Default for AutoscalerConfig {
             scale_down_load: 1.0,
             min_replicas: 1,
             max_replicas: 8,
+            scale_up_p99: None,
+            scale_up_queue: None,
         }
     }
 }
@@ -146,8 +158,29 @@ impl Autoscaler {
         let lost = self.fleet.lost_total();
         let newly_lost = lost.saturating_sub(self.seen_lost.get());
         self.seen_lost.set(lost);
-        let wants_up = load > self.cfg.scale_up_load && effective < self.cfg.max_replicas;
-        let wants_down = load < self.cfg.scale_down_load && effective > min;
+        // richer signals: windowed fleet p99 from the health plane and
+        // dispatcher queue depth — only consulted when configured, so the
+        // default controller decides exactly as it always has
+        let p99_hot = self.cfg.scale_up_p99.is_some_and(|threshold| {
+            let p99 = self
+                .fleet
+                .dispatcher()
+                .health_plane()
+                .and_then(|plane| plane.fleet_p99(sim.now()));
+            if let Some(p) = p99 {
+                sim.span_attr(span, "fleet_p99_s", p);
+            }
+            p99.is_some_and(|p| p > threshold)
+        });
+        let queue_hot = self.cfg.scale_up_queue.is_some_and(|threshold| {
+            let per = self.fleet.dispatcher().queued_depth() as f64 / effective.max(1) as f64;
+            sim.span_attr(span, "queue_per_replica", per);
+            per > threshold
+        });
+        let wants_up = (load > self.cfg.scale_up_load || p99_hot || queue_hot)
+            && effective < self.cfg.max_replicas;
+        let wants_down =
+            load < self.cfg.scale_down_load && effective > min && !p99_hot && !queue_hot;
         let decision = if newly_lost > 0 && effective < self.cfg.max_replicas {
             // crash-loss replacement: retired_total (voluntary drains)
             // never lands here, only lost_total deltas do
@@ -366,5 +399,101 @@ mod tests {
         assert_eq!(fleet.retired_total(), 0, "a crash is not a drain");
         // initial 2 + load-driven up + crash replacement
         assert_eq!(fleet.booted_total(), 4);
+    }
+
+    #[test]
+    fn windowed_p99_signal_scales_up_and_vetoes_scale_down() {
+        use crate::health::{HealthConfig, HealthPlane};
+
+        let mut sim = Sim::new(24);
+        let fleet = fleet_of(&mut sim, 2);
+        sim.run();
+        // an idle fleet (load 0) whose windowed tail is terrible: only the
+        // p99 signal can explain any scale-up, and the aggressive
+        // scale-down threshold would retire a replica without the veto
+        let plane = HealthPlane::new(HealthConfig {
+            window: Duration::from_secs(60),
+            ring: 64,
+            lookback: Duration::from_secs(3600),
+            ..HealthConfig::default()
+        });
+        fleet.dispatcher().set_health_plane(Rc::clone(&plane));
+        for i in 0..20 {
+            plane.record_attempt(sim.now(), "replica0", Duration::from_secs(5 + i % 3), false);
+        }
+        let until = sim.now() + Duration::from_secs(300);
+        let scaler = Autoscaler::install(
+            &mut sim,
+            &fleet,
+            AutoscalerConfig {
+                cooldown: Duration::from_secs(0),
+                scale_down_load: 5.0,
+                scale_up_p99: Some(1.0),
+                min_replicas: 1,
+                max_replicas: 3,
+                ..AutoscalerConfig::default()
+            },
+            until,
+        );
+        sim.run();
+        let actions = scaler.actions();
+        assert!(
+            actions.iter().any(|a| a.decision == ScaleDecision::Up),
+            "hot windowed p99 must order capacity: {actions:?}"
+        );
+        assert!(
+            actions.iter().all(|a| a.decision != ScaleDecision::Down),
+            "a hot tail vetoes scale-down even at zero load: {actions:?}"
+        );
+        assert_eq!(fleet.active_replicas(), 3, "scaled to the ceiling");
+    }
+
+    #[test]
+    fn queue_depth_signal_scales_up_below_the_load_threshold() {
+        let mut sim = Sim::new(25);
+        let fleet = fleet_of(&mut sim, 1);
+        sim.run();
+        fleet.publish(
+            &mut sim,
+            "slow.exe",
+            1024 * 1024,
+            ExecutionProfile::quick().lasting(Duration::from_secs(3600)),
+            |_| {},
+        );
+        sim.run();
+        // 4 outstanding on one replica: load 4 stays under the default
+        // scale_up_load of 8, so only the queue signal can trigger
+        for _ in 0..4 {
+            fleet.dispatcher().clone().submit(
+                &mut sim,
+                Request::Invoke {
+                    service: "slow".into(),
+                    args: Vec::new(),
+                    principal: None,
+                },
+                Box::new(|_, _| {}),
+            );
+        }
+        let until = sim.now() + Duration::from_secs(300);
+        let scaler = Autoscaler::install(
+            &mut sim,
+            &fleet,
+            AutoscalerConfig {
+                cooldown: Duration::from_secs(0),
+                scale_up_queue: Some(2.0),
+                max_replicas: 4,
+                ..AutoscalerConfig::default()
+            },
+            until,
+        );
+        sim.run_until(until + Duration::from_secs(1));
+        let ups = scaler
+            .actions()
+            .iter()
+            .filter(|a| a.decision == ScaleDecision::Up)
+            .count();
+        assert!(ups >= 1, "queued depth must order capacity");
+        // 4 queued over 2 replicas = 2.0, not > 2.0: the signal settles
+        assert_eq!(fleet.active_replicas(), 2, "stops once per-replica depth clears");
     }
 }

@@ -23,29 +23,45 @@ use crate::fleet::Fleet;
 /// schedule and injector streams).
 const VICTIM_SALT: u64 = 0x7669_6374_696d; // "victim"
 
+/// Salt for the slow-strike victim stream. Separate from [`VICTIM_SALT`]
+/// so adding gray failures to a plan leaves its crash-victim sequence —
+/// and every existing chaos golden — untouched.
+const SLOW_SALT: u64 = 0x736c_6f77; // "slow"
+
 /// Scheduled replica killer; create with [`ChaosMonkey::unleash`].
 pub struct ChaosMonkey {
     rng: RefCell<Rng>,
+    slow_rng: RefCell<Rng>,
     scheduled: usize,
     landed: Cell<u64>,
     skipped: Cell<u64>,
+    slowed: Cell<u64>,
 }
 
 impl ChaosMonkey {
-    /// Schedule every crash in `plan` against `fleet`, offset from the
-    /// current virtual time. Returns a handle for post-run accounting.
+    /// Schedule every crash and gray-failure event in `plan` against
+    /// `fleet`, offset from the current virtual time. Returns a handle for
+    /// post-run accounting.
     pub fn unleash(sim: &mut Sim, fleet: &Rc<Fleet>, plan: &FaultPlan) -> Rc<ChaosMonkey> {
         let times = plan.crash_times();
+        let slows = plan.slow_times();
         let monkey = Rc::new(ChaosMonkey {
             rng: RefCell::new(plan.derived_rng(VICTIM_SALT)),
+            slow_rng: RefCell::new(plan.derived_rng(SLOW_SALT)),
             scheduled: times.len(),
             landed: Cell::new(0),
             skipped: Cell::new(0),
+            slowed: Cell::new(0),
         });
         for t in times {
             let fleet = Rc::clone(fleet);
             let monkey2 = Rc::clone(&monkey);
             sim.schedule(t, move |sim| monkey2.strike(sim, &fleet));
+        }
+        for (t, factor) in slows {
+            let fleet = Rc::clone(fleet);
+            let monkey2 = Rc::clone(&monkey);
+            sim.schedule(t, move |sim| monkey2.slow_strike(sim, &fleet, factor));
         }
         monkey
     }
@@ -65,6 +81,11 @@ impl ChaosMonkey {
         self.skipped.get()
     }
 
+    /// Gray-failure strikes that degraded a replica.
+    pub fn slowed(&self) -> u64 {
+        self.slowed.get()
+    }
+
     fn strike(&self, sim: &mut Sim, fleet: &Rc<Fleet>) {
         let names = fleet.active_replica_names();
         if names.is_empty() {
@@ -76,6 +97,23 @@ impl ChaosMonkey {
         if fleet.crash_replica(sim, &names[idx]) {
             self.landed.set(self.landed.get() + 1);
             sim.counter_add("chaos.landed", 1);
+        } else {
+            self.skipped.set(self.skipped.get() + 1);
+            sim.counter_add("chaos.skipped", 1);
+        }
+    }
+
+    fn slow_strike(&self, sim: &mut Sim, fleet: &Rc<Fleet>, factor: f64) {
+        let names = fleet.active_replica_names();
+        if names.is_empty() {
+            self.skipped.set(self.skipped.get() + 1);
+            sim.counter_add("chaos.skipped", 1);
+            return;
+        }
+        let idx = self.slow_rng.borrow_mut().below(names.len() as u64) as usize;
+        if fleet.degrade_replica(sim, &names[idx], factor) {
+            self.slowed.set(self.slowed.get() + 1);
+            sim.counter_add("chaos.slowed", 1);
         } else {
             self.skipped.set(self.skipped.get() + 1);
             sim.counter_add("chaos.skipped", 1);
@@ -122,6 +160,25 @@ mod tests {
             fleet.active_replica_names()
         };
         assert_eq!(run(7), run(7), "victim sequence replays from the seed");
+    }
+
+    #[test]
+    fn slow_strikes_degrade_without_killing() {
+        let mut sim = Sim::new(43);
+        let fleet = fleet_of(&mut sim, 2);
+        sim.run();
+        let plan = FaultPlan::new(11).slow_at(Duration::from_secs(10), 10.0);
+        let monkey = ChaosMonkey::unleash(&mut sim, &fleet, &plan);
+        sim.run();
+        assert_eq!(monkey.slowed(), 1);
+        assert_eq!(monkey.landed(), 0);
+        assert_eq!(fleet.active_replicas(), 2, "gray failure kills nobody");
+        let degraded: Vec<String> = fleet
+            .active_replica_names()
+            .into_iter()
+            .filter(|n| fleet.replica_slow_factor(n) == Some(10.0))
+            .collect();
+        assert_eq!(degraded.len(), 1, "exactly one victim runs slow");
     }
 
     #[test]

@@ -31,8 +31,10 @@ use std::rc::Rc;
 
 use onserve::profile::ExecutionProfile;
 use simkit::engine::EventId;
-use simkit::{Duration, Sim, SpanId};
+use simkit::{Duration, Sim, SimTime, SpanId};
 use wsstack::{SoapFault, SoapValue};
+
+use crate::health::HealthPlane;
 
 /// One front-door request.
 #[derive(Clone, Debug)]
@@ -244,6 +246,10 @@ struct Slot {
     /// Ops currently outstanding on this backend (attempt granularity).
     ops: Vec<u64>,
     draining: bool,
+    /// Probation-weighted by the gray-failure detector: the slot stays in
+    /// rotation but only receives probe traffic (every Nth route) until
+    /// the detector clears or ejects it.
+    probation: bool,
     /// The backend's `<name>.cpu.busy` recorder key, precomputed so the
     /// utilization-weighted pick allocates nothing per candidate.
     busy_key: String,
@@ -272,6 +278,9 @@ struct PendingOp {
     backend: String,
     complete: OpComplete,
     timeout: Option<EventId>,
+    /// When the attempt was dispatched — the health plane's latency sample
+    /// is `answer time − started`.
+    started: SimTime,
 }
 
 /// One admitted invocation making its way through attempts.
@@ -343,6 +352,11 @@ fn rendezvous_score(key: &str, replica: &str) -> u64 {
 type DrainHook = Box<dyn Fn(&mut Sim, &str)>;
 type UploadHook = Box<dyn Fn(&mut Sim, &Request)>;
 
+/// Of every `PROBE_EVERY` routes made while any slot is on probation, one
+/// may consider the probationers — so a recovering replica still sees
+/// enough traffic for the detector to clear it.
+const PROBE_EVERY: u64 = 8;
+
 /// The front-end request router.
 pub struct Dispatcher {
     cfg: DispatcherConfig,
@@ -355,6 +369,13 @@ pub struct Dispatcher {
     affinity: RefCell<AffinityTable>,
     drain_hook: RefCell<Option<DrainHook>>,
     upload_hook: RefCell<Option<UploadHook>>,
+    /// Optional fleet health plane; when attached, every attempt feeds a
+    /// per-replica latency/error sample and every admitted request feeds
+    /// queue-depth and per-tenant series. Pure measurement — attaching it
+    /// schedules nothing and draws no randomness.
+    health: RefCell<Option<Rc<HealthPlane>>>,
+    /// Counts routes made while probation is active, for the probe window.
+    probe_cursor: Cell<u64>,
 }
 
 impl Dispatcher {
@@ -371,7 +392,53 @@ impl Dispatcher {
             affinity: RefCell::new(AffinityTable::default()),
             drain_hook: RefCell::new(None),
             upload_hook: RefCell::new(None),
+            health: RefCell::new(None),
+            probe_cursor: Cell::new(0),
         })
+    }
+
+    /// Attach a health plane. From now on every answered (or lost) attempt
+    /// records a per-replica latency/error sample and every admitted
+    /// invocation records in-flight depth and its tenant. Measurement
+    /// only: the request path is unchanged event-for-event.
+    pub fn set_health_plane(&self, plane: Rc<HealthPlane>) {
+        *self.health.borrow_mut() = Some(plane);
+    }
+
+    /// The attached health plane, if any.
+    pub fn health_plane(&self) -> Option<Rc<HealthPlane>> {
+        self.health.borrow().clone()
+    }
+
+    /// Put `name` on (or take it off) probation: it stays in rotation but
+    /// receives only probe traffic (one route window in [`PROBE_EVERY`])
+    /// until cleared. Returns `false` if no live backend has that name.
+    pub fn set_probation(&self, name: &str, on: bool) -> bool {
+        let mut slots = self.slots.borrow_mut();
+        match slots
+            .iter_mut()
+            .find(|s| !s.draining && s.backend.name() == name)
+        {
+            Some(slot) => {
+                slot.probation = on;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Live backends currently on probation.
+    pub fn probation_count(&self) -> usize {
+        self.slots
+            .borrow()
+            .iter()
+            .filter(|s| !s.draining && s.probation)
+            .count()
+    }
+
+    /// Attempts outstanding across all backends (queued + being served).
+    pub fn queued_depth(&self) -> usize {
+        self.slots.borrow().iter().map(|s| s.ops.len()).sum()
     }
 
     /// The configured policy.
@@ -386,6 +453,7 @@ impl Dispatcher {
             backend,
             ops: Vec::new(),
             draining: false,
+            probation: false,
             busy_key,
         });
     }
@@ -474,6 +542,18 @@ impl Dispatcher {
         self.in_flight.set(self.in_flight.get() + 1);
         sim.counter_add("dispatcher.accepted", 1);
         sim.span_attr(span, "in_flight", self.in_flight.get() as u64);
+        if let Some(plane) = self.health.borrow().as_ref() {
+            let tenant = match &req {
+                Request::Invoke { principal, .. } => principal.as_deref(),
+                Request::Upload { .. } => None,
+            };
+            plane.record_submit(
+                sim.now(),
+                self.in_flight.get() as u64,
+                self.queued_depth() as u64,
+                tenant,
+            );
+        }
         self.attempt(
             sim,
             Ticket {
@@ -687,12 +767,15 @@ impl Dispatcher {
     ) -> (u64, Rc<dyn Backend>, bool) {
         let op_id = self.next_op.get();
         self.next_op.set(op_id + 1);
-        let (backend, queued) = {
+        let (backend, queued, depth) = {
             let mut slots = self.slots.borrow_mut();
             let slot = &mut slots[idx];
             slot.ops.push(op_id);
-            (Rc::clone(&slot.backend), slot.ops.len() > 1)
+            (Rc::clone(&slot.backend), slot.ops.len() > 1, slot.ops.len())
         };
+        if let Some(plane) = self.health.borrow().as_ref() {
+            plane.record_depth(sim.now(), backend.name(), depth as u64);
+        }
         let timeout = self.cfg.request_timeout.map(|t| {
             let this = Rc::clone(self);
             sim.schedule(t, move |sim| this.op_timed_out(sim, op_id))
@@ -703,6 +786,7 @@ impl Dispatcher {
                 backend: backend.name().to_owned(),
                 complete,
                 timeout,
+                started: sim.now(),
             },
         );
         (op_id, backend, queued)
@@ -715,6 +799,9 @@ impl Dispatcher {
         let Some(op) = self.take_op(sim, op_id) else {
             return; // zombie response from an ejected backend
         };
+        if let Some(plane) = self.health.borrow().as_ref() {
+            plane.record_attempt(sim.now(), &op.backend, sim.now() - op.started, res.is_err());
+        }
         // fault-signal detection: an error from a backend that reports
         // unhealthy is a loss, not an application fault
         let lost = res.is_err() && !self.backend_healthy(&op.backend);
@@ -805,6 +892,9 @@ impl Dispatcher {
             if let Some(ev) = op.timeout {
                 sim.cancel_event(ev);
             }
+            if let Some(plane) = self.health.borrow().as_ref() {
+                plane.record_attempt(sim.now(), &op.backend, sim.now() - op.started, true);
+            }
             let name = op.backend.clone();
             (op.complete)(sim, OpOutcome::BackendLost(name));
         }
@@ -817,7 +907,7 @@ impl Dispatcher {
     /// dispatch span and counters.
     fn route(&self, sim: &Sim, key: Option<&str>) -> Option<(usize, Option<&'static str>)> {
         let slots = self.slots.borrow();
-        let live: Vec<usize> = slots
+        let mut live: Vec<usize> = slots
             .iter()
             .enumerate()
             .filter(|(_, s)| !s.draining)
@@ -825,6 +915,24 @@ impl Dispatcher {
             .collect();
         if live.is_empty() {
             return None;
+        }
+        // Probation weighting: while any live slot is on probation, most
+        // routes consider only the clean subset; every `PROBE_EVERY`th
+        // route goes to the probationers instead, so they keep receiving
+        // a deterministic trickle of probe traffic for the detector to
+        // score (enough to clear a recovered replica or finish off a
+        // still-degraded one). When every live slot is probationed the
+        // filter is a no-op (keep serving rather than shed). With nothing
+        // on probation — the case every detector-off run is in — `live`
+        // is untouched, so routing is bit-for-bit what it always was.
+        if live.iter().any(|&i| slots[i].probation) {
+            let k = self.probe_cursor.get();
+            self.probe_cursor.set(k.wrapping_add(1));
+            let (probed, clean): (Vec<usize>, Vec<usize>) =
+                live.iter().partition(|&&i| slots[i].probation);
+            if !clean.is_empty() {
+                live = if k.is_multiple_of(PROBE_EVERY) { probed } else { clean };
+            }
         }
         let (Some(aff), Some(key)) = (self.cfg.affinity, key) else {
             return Some((self.pick_base(sim, &slots, &live), None));

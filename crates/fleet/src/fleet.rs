@@ -108,6 +108,9 @@ struct Replica {
     /// Shared with the [`ReplicaBackend`]; flipped by
     /// [`Fleet::crash_replica`] so late responses read as a dead peer.
     crashed: Rc<Cell<bool>>,
+    /// Shared with the [`ReplicaBackend`]; a gray-failure latency
+    /// multiplier set by [`Fleet::degrade_replica`] (1.0 = full speed).
+    slow_factor: Rc<Cell<f64>>,
     boot_span: SpanId,
 }
 
@@ -293,8 +296,46 @@ impl Fleet {
             deployment: None,
             retired: false,
             crashed: Rc::new(Cell::new(false)),
+            slow_factor: Rc::new(Cell::new(1.0)),
             boot_span,
         });
+    }
+
+    /// Gray-degrade an active replica: every response it produces from now
+    /// on is delayed to `factor ×` its normal service latency. The replica
+    /// still answers and emits no crash signal — only the health plane's
+    /// latency statistics can tell. `factor` 1.0 restores full speed.
+    /// Returns `false` if `name` is not an active replica.
+    pub fn degrade_replica(self: &Rc<Self>, sim: &mut Sim, name: &str, factor: f64) -> bool {
+        assert!(factor >= 1.0, "slow factor must be >= 1.0, got {factor}");
+        {
+            let inner = self.inner.borrow();
+            let Some(replica) = inner
+                .replicas
+                .iter()
+                .find(|r| r.name == name && r.deployment.is_some() && !r.retired)
+            else {
+                return false;
+            };
+            replica.slow_factor.set(factor);
+        }
+        let span = sim.span_begin("fleet.replica_degraded");
+        sim.span_attr(span, "replica", name.to_owned());
+        sim.span_attr(span, "factor", factor);
+        sim.counter_add("fleet.replica_degraded", 1);
+        sim.span_end(span);
+        true
+    }
+
+    /// The gray-failure latency multiplier currently applied to `name`
+    /// (`None` when it is not an active replica).
+    pub fn replica_slow_factor(&self, name: &str) -> Option<f64> {
+        self.inner
+            .borrow()
+            .replicas
+            .iter()
+            .find(|r| r.name == name && r.deployment.is_some() && !r.retired)
+            .map(|r| r.slow_factor.get())
     }
 
     /// Kill an active replica with no drain: the VM is hard-destroyed
@@ -561,7 +602,7 @@ impl Fleet {
     /// Put a provisioned replica into the rotation and advertise it.
     fn activate(self: Rc<Self>, sim: &mut Sim, id: usize, d: Rc<Deployment>) {
         let expected = format!("{}{}", self.base.appliance_name, id);
-        let (name, services, boot_span, crashed) = {
+        let (name, services, boot_span, crashed, slow_factor) = {
             let mut inner = self.inner.borrow_mut();
             inner.booting -= 1;
             inner.booted += 1;
@@ -581,6 +622,7 @@ impl Fleet {
                 services,
                 replica.boot_span,
                 Rc::clone(&replica.crashed),
+                Rc::clone(&replica.slow_factor),
             )
         };
         sim.counter_add("fleet.booted", 1);
@@ -592,6 +634,7 @@ impl Fleet {
             name,
             deployment: d,
             crashed,
+            slow_factor,
         }));
     }
 
@@ -646,6 +689,31 @@ struct ReplicaBackend {
     name: String,
     deployment: Rc<Deployment>,
     crashed: Rc<Cell<bool>>,
+    slow_factor: Rc<Cell<f64>>,
+}
+
+impl ReplicaBackend {
+    /// Wrap `done` so a gray-degraded replica ([`Fleet::degrade_replica`])
+    /// stretches the request's service time to `factor ×` normal: the real
+    /// work completes as usual, then the response is held for the extra
+    /// `(factor − 1) × elapsed`. At factor 1.0 (the default) the responder
+    /// is invoked directly — no event is scheduled, so healthy runs are
+    /// bit-for-bit unchanged.
+    fn stretch(&self, start: simkit::SimTime, done: Responder) -> Responder {
+        let factor = Rc::clone(&self.slow_factor);
+        Box::new(move |sim: &mut Sim, res| {
+            let f = factor.get();
+            if f > 1.0 {
+                let elapsed = sim.now() - start;
+                let extra = Duration::from_secs_f64(elapsed.as_secs_f64() * (f - 1.0));
+                if !extra.is_zero() {
+                    sim.schedule(extra, move |sim| done(sim, res));
+                    return;
+                }
+            }
+            done(sim, res);
+        })
+    }
 }
 
 impl Backend for ReplicaBackend {
@@ -667,6 +735,7 @@ impl Backend for ReplicaBackend {
             );
             return;
         }
+        let done = self.stretch(sim.now(), done);
         match req {
             Request::Invoke { service, args, .. } => {
                 let refs: Vec<(&str, wsstack::SoapValue)> =

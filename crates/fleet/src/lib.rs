@@ -20,8 +20,14 @@
 //! * [`autoscaler`] — a sampling control loop with cooldown and
 //!   boot-latency awareness that never scales below one replica, and
 //!   replaces crash-lost capacity outside the cooldown.
-//! * [`chaos`] — materializes a `simkit` fault plan's crash schedule
-//!   against the fleet: seeded, replayable replica kills with no drain.
+//! * [`chaos`] — materializes a `simkit` fault plan's crash and
+//!   slow-replica schedules against the fleet: seeded, replayable kills
+//!   (no drain) and silent latency degradations.
+//! * [`health`] — the observability plane: windowed per-replica and
+//!   per-tenant series fed from the dispatcher with zero effect on the
+//!   event schedule, a peer-relative gray-failure detector
+//!   (probation-weighted routing, then ejection), and Prometheus-text /
+//!   time-series-CSV export.
 //!
 //! ## Quick start
 //!
@@ -49,6 +55,7 @@ pub mod autoscaler;
 pub mod chaos;
 pub mod dispatcher;
 pub mod fleet;
+pub mod health;
 pub mod workload;
 
 pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleAction, ScaleDecision};
@@ -58,6 +65,9 @@ pub use dispatcher::{
     Responder, RetryConfig,
 };
 pub use fleet::{Fleet, FleetSpec, StorageTopology};
+pub use health::{
+    DetectorAction, DetectorEvent, GrayFailureDetector, HealthConfig, HealthPlane, ReplicaHealth,
+};
 pub use workload::{
     start_closed_loop, start_open_loop, ArrivalProcess, Arrivals, Mix, ServiceTarget, SubmitFn,
     WorkloadStats,

@@ -128,6 +128,7 @@ fn soak(seed: u64, affinity: bool) -> Fingerprint {
             scale_down_load: 0.0,
             min_replicas: 3,
             max_replicas: 6,
+            ..AutoscalerConfig::default()
         },
         until,
     );

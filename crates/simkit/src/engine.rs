@@ -356,10 +356,16 @@ impl Sim {
         self.span_parent
     }
 
-    /// Bump a monotonic counter by `delta` (no-op while disabled).
+    /// Bump a monotonic counter by `delta` (no-op while disabled). Each
+    /// bump also appends a `(now, name, cumulative)` sample so the Chrome
+    /// trace exporter can render counter tracks.
     pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        let now = self.now;
         if let Some(t) = self.telemetry.as_mut() {
-            *t.counters.entry(name).or_insert(0) += delta;
+            let total = t.counters.entry(name).or_insert(0);
+            *total += delta;
+            let total = *total;
+            t.counter_samples.push((now, name, total));
         }
     }
 

@@ -71,6 +71,11 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Crash events (mapped onto victims by the owning tier).
     pub crashes: CrashSchedule,
+    /// Gray-failure events: `(offset, latency factor)` — at `offset` the
+    /// owning tier degrades one victim to `factor ×` its normal service
+    /// latency. The victim still answers; nothing crashes. The fleet tier
+    /// maps these onto replicas ([`FaultPlan::slow_times`]).
+    pub slows: Vec<(Duration, f64)>,
     /// Substrate-fault rates.
     pub config: FaultConfig,
 }
@@ -96,6 +101,15 @@ impl FaultPlan {
     /// Replace the crash schedule with a Poisson process.
     pub fn poisson_crashes(mut self, mean_gap: Duration, horizon: Duration) -> Self {
         self.crashes = CrashSchedule::Poisson { mean_gap, horizon };
+        self
+    }
+
+    /// Add one gray-failure event: at `offset` from the chaos start, slow
+    /// one victim to `factor ×` its normal service latency (`factor` must
+    /// be ≥ 1.0; 1.0 is a no-op restore).
+    pub fn slow_at(mut self, offset: Duration, factor: f64) -> Self {
+        assert!(factor >= 1.0, "slow factor must be >= 1.0, got {factor}");
+        self.slows.push((offset, factor));
         self
     }
 
@@ -142,6 +156,15 @@ impl FaultPlan {
                 }
             }
         }
+    }
+
+    /// Materialize the gray-failure schedule: `(offset, factor)` pairs
+    /// sorted by offset. Victim selection is the owning tier's business
+    /// (use [`FaultPlan::derived_rng`] with a tier salt).
+    pub fn slow_times(&self) -> Vec<(Duration, f64)> {
+        let mut v = self.slows.clone();
+        v.sort_by_key(|s| s.0);
+        v
     }
 
     /// The probabilistic-fault draw source for this plan, ready to hand to
@@ -287,6 +310,26 @@ mod tests {
         assert_eq!(c1, c2);
         assert!(c1.link_drops > 10 && c1.link_drops < 60, "{c1:?}");
         assert!(c1.write_fails > 0);
+    }
+
+    #[test]
+    fn slow_schedule_sorts_and_validates() {
+        let plan = FaultPlan::new(5)
+            .slow_at(Duration::from_secs(200), 10.0)
+            .slow_at(Duration::from_secs(50), 4.0);
+        assert_eq!(
+            plan.slow_times(),
+            vec![
+                (Duration::from_secs(50), 4.0),
+                (Duration::from_secs(200), 10.0)
+            ]
+        );
+        // slows leave the crash schedule alone
+        assert!(plan.crash_times().is_empty());
+        let caught = std::panic::catch_unwind(|| {
+            FaultPlan::new(5).slow_at(Duration::from_secs(1), 0.5)
+        });
+        assert!(caught.is_err(), "sub-1.0 factor must be rejected");
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub mod wheel;
 pub use engine::Sim;
 pub use fault::{CrashSchedule, FaultConfig, FaultCounts, FaultInjector, FaultPlan};
 pub use host::{Duplex, Host, HostSpec, Link, GBIT_PER_S, KB, MB};
-pub use metrics::{MetricId, Recorder, Series};
+pub use metrics::{
+    sanitize_metric_name, validate_prometheus_text, MetricId, Recorder, Series, WindowAgg,
+    WindowedId, WindowedRegistry, WindowedSeries, LOG2_BUCKETS,
+};
 pub use rng::Rng;
 pub use server::{FifoServer, FlowId, PsServer, ServerConfig, Share};
 pub use telemetry::{

@@ -202,6 +202,14 @@ impl DurationHisto {
         self.max_ticks as f64 / crate::time::TICKS_PER_SEC as f64
     }
 
+    /// Quantile estimate in seconds: linear interpolation inside the log₂
+    /// bucket holding the target rank, clamped to the observed maximum.
+    /// `q` is clamped to `[0, 1]`; an empty histogram yields 0.0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        crate::metrics::quantile_from_log2(&self.counts, self.count, self.max_ticks, q)
+            / crate::time::TICKS_PER_SEC as f64
+    }
+
     /// Non-empty buckets as `(upper_bound_us, count)` pairs, ascending.
     pub fn buckets(&self) -> Vec<(u64, u64)> {
         self.counts
@@ -227,6 +235,10 @@ pub struct Telemetry {
     pub(crate) labels: BTreeMap<&'static str, u64>,
     /// Compat instant-event log (the old `trace_lines` strings).
     pub(crate) events: Vec<(SimTime, String)>,
+    /// Per-bump counter history `(at, name, cumulative value)` — exported
+    /// as Chrome-trace `"C"` counter tracks so Perfetto shows load curves
+    /// alongside the spans.
+    pub(crate) counter_samples: Vec<(SimTime, &'static str, u64)>,
 }
 
 impl Telemetry {
@@ -317,6 +329,12 @@ impl Telemetry {
     /// Compat instant-event log (old `Sim::trace` lines).
     pub fn events(&self) -> &[(SimTime, String)] {
         &self.events
+    }
+
+    /// Counter bump history `(at, name, cumulative value)`, in record
+    /// order (virtual time is therefore non-decreasing).
+    pub fn counter_samples(&self) -> &[(SimTime, &'static str, u64)] {
+        &self.counter_samples
     }
 
     /// Ids of `id`'s direct children, in creation order.
@@ -441,6 +459,24 @@ impl Telemetry {
                 ),
             ));
         }
+        // counter tracks ("C" phase) on the lane after the instants: one
+        // Perfetto counter track per counter name, each sample carrying the
+        // cumulative value at that bump
+        let counter_lane = instant_lane + 1;
+        for (seq, (at, name, value)) in self.counter_samples.iter().enumerate() {
+            events.push((
+                at.ticks(),
+                counter_lane,
+                seq,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"value\":{}}}}}",
+                    json_escape(name),
+                    at.ticks(),
+                    counter_lane + 1,
+                    value
+                ),
+            ));
+        }
         // global order: monotone ts; per-lane sequence preserved within ties
         events.sort_by_key(|&(ts, lane, seq, _)| (ts, lane, seq));
         let mut out = String::from("{\"traceEvents\":[");
@@ -473,7 +509,7 @@ impl Telemetry {
             out.push_str("\nper-stage totals:\n");
             out.push_str(&format!(
                 "  {:<24} {:>6} {:>12} {:>12} {:>12}\n",
-                "stage", "count", "total_s", "mean_s", "max_s"
+                "stage", "count", "total_s", "p50_s", "p99_s"
             ));
             for (name, h) in &self.histos {
                 out.push_str(&format!(
@@ -481,8 +517,8 @@ impl Telemetry {
                     name,
                     h.count(),
                     h.total_secs(),
-                    h.mean_secs(),
-                    h.max_secs()
+                    h.quantile(0.5),
+                    h.quantile(0.99)
                 ));
             }
         }
@@ -821,6 +857,8 @@ pub struct TraceCheck {
     pub begins: usize,
     /// `E` (span-end) events.
     pub ends: usize,
+    /// `C` (counter-sample) events.
+    pub counters: usize,
     /// Largest `ts` seen, microseconds.
     pub max_ts_us: u64,
 }
@@ -888,7 +926,30 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
                     return Err(format!("event {i}: E for span {span} that is not open"));
                 }
             }
-            "i" | "I" | "C" | "M" => {}
+            "C" => {
+                // counter sample: args must be a non-empty object whose
+                // values are all numeric (one Perfetto series per key)
+                check.counters += 1;
+                let args = ev
+                    .get("args")
+                    .ok_or(format!("event {i}: C without args"))?;
+                let fields = match args {
+                    Json::Obj(fields) if !fields.is_empty() => fields,
+                    _ => {
+                        return Err(format!(
+                            "event {i}: C args must be a non-empty object"
+                        ))
+                    }
+                };
+                for (key, value) in fields {
+                    if value.as_num().is_none() {
+                        return Err(format!(
+                            "event {i}: counter value {key:?} is not numeric"
+                        ));
+                    }
+                }
+            }
+            "i" | "I" | "M" => {}
             other => return Err(format!("event {i}: unknown phase {other:?}")),
         }
     }
@@ -1052,5 +1113,90 @@ mod tests {
         assert!(text.contains("FAILED"));
         assert!(text.contains("per-stage totals"));
         assert!(text.contains("polls"));
+    }
+
+    #[test]
+    fn span_tree_totals_show_quantile_columns() {
+        let t = store_with(&[("stage", 0, 0, Some(1_000_000))]);
+        let text = t.span_tree(SimTime::from_secs(1));
+        assert!(text.contains("p50_s"), "{text}");
+        assert!(text.contains("p99_s"), "{text}");
+        assert!(!text.contains("mean_s"), "{text}");
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_and_clamps() {
+        let mut h = DurationHisto::default();
+        for ms in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(Duration::from_millis(ms));
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 > 0.0 && p50 < 0.1, "p50 = {p50}");
+        assert!((h.quantile(1.0) - 1.0).abs() < 1e-9, "q1 clamps to max");
+        assert!((p99 - 1.0).abs() < 0.6, "p99 = {p99} near the outlier");
+        assert!(p50 <= h.quantile(0.9), "monotone in q");
+        // degenerate cases
+        assert_eq!(DurationHisto::default().quantile(0.99), 0.0);
+        let mut one = DurationHisto::default();
+        one.record(Duration::from_millis(7));
+        assert!((one.quantile(0.5) - 0.007).abs() < 1e-9);
+        assert!((one.quantile(0.0) - one.quantile(1.0)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn histogram_quantile_exact_within_single_value() {
+        // all mass on one value: every quantile clamps to it
+        let mut h = DurationHisto::default();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(1024));
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v <= 1024e-6 + 1e-12, "q={q} gave {v}");
+            assert!(v > 512e-6, "q={q} gave {v} below the bucket");
+        }
+    }
+
+    #[test]
+    fn counter_tracks_export_and_validate() {
+        let mut t = store_with(&[("op", 0, 0, Some(50))]);
+        t.counters.insert("reqs", 2);
+        t.counter_samples.push((SimTime::from_ticks(10), "reqs", 1));
+        t.counter_samples.push((SimTime::from_ticks(40), "reqs", 2));
+        let json = t.to_chrome_trace(SimTime::from_ticks(50));
+        let check = validate_chrome_trace(&json).expect("valid trace with counters");
+        assert_eq!(check.counters, 2);
+        assert_eq!(check.begins, 1);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"value\":2"));
+    }
+
+    #[test]
+    fn validator_checks_counter_events() {
+        // C without args
+        let no_args = r#"{"traceEvents":[
+            {"name":"reqs","ph":"C","ts":1,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(no_args).unwrap_err().contains("args"));
+        // C with empty args object
+        let empty = r#"{"traceEvents":[
+            {"name":"reqs","ph":"C","ts":1,"pid":1,"tid":1,"args":{}}
+        ]}"#;
+        assert!(validate_chrome_trace(empty)
+            .unwrap_err()
+            .contains("non-empty"));
+        // C with a non-numeric value
+        let bad = r#"{"traceEvents":[
+            {"name":"reqs","ph":"C","ts":1,"pid":1,"tid":1,"args":{"value":"high"}}
+        ]}"#;
+        assert!(validate_chrome_trace(bad)
+            .unwrap_err()
+            .contains("not numeric"));
+        // well-formed counter sample passes and is counted
+        let good = r#"{"traceEvents":[
+            {"name":"reqs","ph":"C","ts":1,"pid":1,"tid":1,"args":{"value":3}}
+        ]}"#;
+        assert_eq!(validate_chrome_trace(good).unwrap().counters, 1);
     }
 }

@@ -39,6 +39,18 @@ cp target/experiments/affinity.csv target/experiments/affinity-run1.csv
 cargo run --release -q -p onserve-bench --bin affinity > /dev/null
 cmp target/experiments/affinity-run1.csv target/experiments/affinity.csv
 
+echo "==> grayfail tier (golden + health soak)"
+cargo test -q -p onserve-bench --test golden_determinism grayfail_sweep_matches_golden
+cargo test -q -p onserve-fleet --test health
+
+echo "==> grayfail bench determinism (two same-seed runs, byte-identical CSV + exposition)"
+cargo run --release -q -p onserve-bench --bin grayfail > /dev/null
+cp target/experiments/grayfail.csv target/experiments/grayfail-run1.csv
+cp target/experiments/grayfail.prom target/experiments/grayfail-run1.prom
+cargo run --release -q -p onserve-bench --bin grayfail > /dev/null
+cmp target/experiments/grayfail-run1.csv target/experiments/grayfail.csv
+cmp target/experiments/grayfail-run1.prom target/experiments/grayfail.prom
+
 echo "==> millionuser tier (golden + determinism, CI scale)"
 cargo test -q -p onserve-bench --test golden_determinism millionuser_ci_matches_golden
 cargo run --release -q -p onserve-bench --bin millionuser -- --ci > /dev/null
