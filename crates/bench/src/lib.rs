@@ -12,6 +12,7 @@
 pub mod affinity;
 pub mod chaos;
 pub mod fleetscale;
+pub mod geo;
 pub mod grayfail;
 pub mod millionuser;
 

@@ -291,6 +291,92 @@ fn millionuser_ci_matches_golden() {
     );
 }
 
+/// The geo experiment must be byte-stable per seed, and its headline
+/// results must hold, not just their bytes: nearest-site routing beats
+/// site-oblivious round-robin on mean latency, WAN link faults cost real
+/// latency, and federation loses none of the accepted work that the
+/// site-oblivious control times out on.
+#[test]
+fn geo_sweep_matches_golden() {
+    use onserve_bench::geo::{self, GeoMode};
+    let points = geo::sweep();
+    assert_eq!(geo::csv(&points), golden("geo.csv"), "geo CSV drifted");
+    let row = |m: GeoMode| points.iter().find(|p| p.mode == m).expect("row");
+    let rr = row(GeoMode::RoundRobin);
+    let near = row(GeoMode::Nearest);
+    let deg = row(GeoMode::Degraded);
+    let obl = row(GeoMode::Oblivious);
+    let fed = row(GeoMode::Federated);
+    for p in &points {
+        assert_eq!(p.issued, rr.issued, "same seed must offer the same load");
+        assert_eq!(p.shed, 0, "nothing is refused at the door");
+    }
+    // latency-aware routing: nearest-site keeps most answers off the WAN
+    // and beats round-robin on mean latency
+    assert!(
+        near.wan_hops * 3 < rr.wan_hops * 2,
+        "nearest-site routing must cut WAN round trips by a third ({} vs {})",
+        near.wan_hops,
+        rr.wan_hops
+    );
+    assert!(
+        near.mean_ms < rr.mean_ms,
+        "nearest-site routing must beat round-robin on mean latency ({} vs {})",
+        near.mean_ms,
+        rr.mean_ms
+    );
+    // wired link faults: drops and jitter on the same routing cost real
+    // latency
+    assert!(deg.link_drops > 0, "the fault injector must land drops");
+    assert!(
+        deg.mean_ms > near.mean_ms && deg.p99_ms > near.p99_ms,
+        "link faults must cost latency (mean {} vs {}, p99 {} vs {})",
+        deg.mean_ms,
+        near.mean_ms,
+        deg.p99_ms,
+        near.p99_ms
+    );
+    // site-oblivious control: the outage blackholes pinned work until the
+    // watchdog gives up — accepted requests are lost to timeouts
+    assert!(obl.faulted > 0, "the control row must lose work to the outage");
+    assert!(obl.blackholed > 0, "severed-site requests must blackhole");
+    assert_eq!(
+        obl.completed + obl.faulted,
+        obl.issued,
+        "control-row conservation: every request settles"
+    );
+    // federation: pinned work is forwarded around the outage, answers
+    // produced behind the partition are pulled back on reconnect, and no
+    // accepted request is lost
+    assert_eq!(fed.faulted, 0, "federation must lose nothing");
+    assert_eq!(fed.completed, fed.issued, "federation completes everything");
+    assert!(fed.forwarded > 0, "pinned work must be forwarded cross-site");
+    assert!(
+        fed.results_pulled > 0,
+        "answers held behind the partition must be pulled back"
+    );
+    assert_eq!(fed.blackholed, 0, "geo routing never feeds the severed site");
+    assert!(
+        fed.completed > obl.completed,
+        "federation must complete strictly more than the oblivious control"
+    );
+    // the captured exposition carries site labels and satisfies the strict
+    // parser; the nearest row's follow-the-sun traffic touches all three
+    // sites, so every site label must appear
+    let (families, samples) =
+        simkit::validate_prometheus_text(&near.prom).expect("exposition snapshot is valid");
+    assert!(
+        families >= 8 && samples > families,
+        "expected a populated exposition, got {families} families / {samples} samples"
+    );
+    assert!(
+        near.prom.contains(r#"site="east""#)
+            && near.prom.contains(r#"site="central""#)
+            && near.prom.contains(r#"site="west""#),
+        "per-replica series must carry their site label"
+    );
+}
+
 #[test]
 fn fig8_curves_match_golden_at_both_sampling_rates() {
     let fine = fig8_curves(Duration::from_millis(200));

@@ -28,6 +28,10 @@ const VICTIM_SALT: u64 = 0x7669_6374_696d; // "victim"
 /// and every existing chaos golden — untouched.
 const SLOW_SALT: u64 = 0x736c_6f77; // "slow"
 
+/// Salt for the site-outage victim stream, separate again so site strikes
+/// never perturb the crash or slow sequences.
+const SITE_SALT: u64 = 0x7369_7465; // "site"
+
 /// Scheduled replica killer; create with [`ChaosMonkey::unleash`].
 pub struct ChaosMonkey {
     rng: RefCell<Rng>,
@@ -36,6 +40,7 @@ pub struct ChaosMonkey {
     landed: Cell<u64>,
     skipped: Cell<u64>,
     slowed: Cell<u64>,
+    site_outages: Cell<u64>,
 }
 
 impl ChaosMonkey {
@@ -52,6 +57,7 @@ impl ChaosMonkey {
             landed: Cell::new(0),
             skipped: Cell::new(0),
             slowed: Cell::new(0),
+            site_outages: Cell::new(0),
         });
         for t in times {
             let fleet = Rc::clone(fleet);
@@ -62,6 +68,34 @@ impl ChaosMonkey {
             let fleet = Rc::clone(fleet);
             let monkey2 = Rc::clone(&monkey);
             sim.schedule(t, move |sim| monkey2.slow_strike(sim, &fleet, factor));
+        }
+        // Site outages resolve their victim *now*, not at strike time: the
+        // outage window must be on the geo plane before the strike fires so
+        // routing, blackholing and answer-holding all read one schedule. A
+        // fleet with no geo plane has no sites to sever — those strikes
+        // count as skipped, like crashes against a dark fleet.
+        let site_rng = RefCell::new(plan.derived_rng(SITE_SALT));
+        for (offset, duration) in plan.site_down_times() {
+            let Some(geo) = fleet.geo_plane() else {
+                monkey.skipped.set(monkey.skipped.get() + 1);
+                continue;
+            };
+            let sites = geo.map().sites();
+            let site = sites[site_rng.borrow_mut().below(sites.len() as u64) as usize].clone();
+            let from = sim.now() + offset;
+            let to = from + duration;
+            geo.add_outage(&site, from, to);
+            monkey.site_outages.set(monkey.site_outages.get() + 1);
+            let fleet2 = Rc::clone(fleet);
+            let sever_site = site.clone();
+            sim.schedule(offset, move |sim| {
+                sim.counter_add("chaos.site_severed", 1);
+                fleet2.sever_site(sim, &sever_site);
+            });
+            let fleet2 = Rc::clone(fleet);
+            sim.schedule(offset + duration, move |sim| {
+                fleet2.restore_site(sim, &site);
+            });
         }
         monkey
     }
@@ -84,6 +118,11 @@ impl ChaosMonkey {
     /// Gray-failure strikes that degraded a replica.
     pub fn slowed(&self) -> u64 {
         self.slowed.get()
+    }
+
+    /// Site outage windows registered against the fleet's geo plane.
+    pub fn site_outages(&self) -> u64 {
+        self.site_outages.get()
     }
 
     fn strike(&self, sim: &mut Sim, fleet: &Rc<Fleet>) {
@@ -179,6 +218,49 @@ mod tests {
             .filter(|n| fleet.replica_slow_factor(n) == Some(10.0))
             .collect();
         assert_eq!(degraded.len(), 1, "exactly one victim runs slow");
+    }
+
+    #[test]
+    fn site_strikes_register_outage_windows_on_the_geo_plane() {
+        let run = || {
+            let mut sim = Sim::new(47);
+            let fleet = fleet_of(&mut sim, 3);
+            sim.run();
+            let mut map = crate::geo::SiteMap::new();
+            map.add_site("east");
+            map.add_site("west");
+            map.link("east", "west", Duration::from_millis(60), 1e6);
+            fleet.attach_geo(crate::geo::GeoPlane::new(map));
+            let plan = FaultPlan::new(13)
+                .site_down(Duration::from_secs(30), Duration::from_secs(120));
+            let monkey = ChaosMonkey::unleash(&mut sim, &fleet, &plan);
+            assert_eq!(monkey.site_outages(), 1);
+            let geo = fleet.geo_plane().unwrap();
+            let mid = sim.now() + Duration::from_secs(60); // inside [30, 150)
+            let down = |s: &str| geo.is_down(s, mid);
+            let victim = ["east", "west"].iter().find(|s| down(s)).copied();
+            assert!(victim.is_some(), "one site must be severed mid-window");
+            sim.run();
+            assert_eq!(
+                fleet.active_replicas(),
+                3,
+                "a site outage kills no replica"
+            );
+            victim.map(str::to_owned)
+        };
+        assert_eq!(run(), run(), "victim site replays from the seed");
+    }
+
+    #[test]
+    fn site_strikes_without_a_geo_plane_are_skipped() {
+        let mut sim = Sim::new(48);
+        let fleet = fleet_of(&mut sim, 2);
+        sim.run();
+        let plan = FaultPlan::new(5).site_down(Duration::from_secs(10), Duration::from_secs(10));
+        let monkey = ChaosMonkey::unleash(&mut sim, &fleet, &plan);
+        sim.run();
+        assert_eq!(monkey.site_outages(), 0);
+        assert_eq!(monkey.skipped(), 1);
     }
 
     #[test]

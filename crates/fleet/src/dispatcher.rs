@@ -26,7 +26,7 @@
 //! per-attempt timeout treats a silent backend as dead and ejects it.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
 use onserve::profile::ExecutionProfile;
@@ -34,6 +34,7 @@ use simkit::engine::EventId;
 use simkit::{Duration, Sim, SimTime, SpanId};
 use wsstack::{SoapFault, SoapValue};
 
+use crate::geo::GeoPlane;
 use crate::health::HealthPlane;
 
 /// One front-door request.
@@ -239,6 +240,10 @@ pub struct DispatchCounters {
     /// Attempts whose pin had been invalidated by a replica loss or drain
     /// (reassigned by rendezvous hash).
     pub affinity_repins: u64,
+    /// Attempts whose pinned replica sat behind a severed site and were
+    /// forwarded to a peer site with the pin preserved (federation); the
+    /// principal comes home when the site reconnects.
+    pub forwarded: u64,
 }
 
 struct Slot {
@@ -295,9 +300,10 @@ struct Ticket {
 enum Pin {
     /// Pinned to the named live replica.
     Live(String),
-    /// The pinned replica was ejected or drained; the key is reassigned
+    /// The pinned replica (named, so a geo plane can still look up its
+    /// home site) was ejected or drained; the key is reassigned
     /// (rendezvous hash) on its next request.
-    Orphaned,
+    Orphaned(String),
 }
 
 /// Bounded `principal → replica` table, oldest-key eviction.
@@ -328,7 +334,7 @@ impl AffinityTable {
     fn orphan_replica(&mut self, replica: &str) {
         for p in self.pins.values_mut() {
             if matches!(p, Pin::Live(r) if r == replica) {
-                *p = Pin::Orphaned;
+                *p = Pin::Orphaned(replica.to_owned());
             }
         }
     }
@@ -374,6 +380,12 @@ pub struct Dispatcher {
     /// queue-depth and per-tenant series. Pure measurement — attaching it
     /// schedules nothing and draws no randomness.
     health: RefCell<Option<Rc<HealthPlane>>>,
+    /// Optional geo plane; when attached, routing filters out replicas on
+    /// severed sites, first-sight picks prefer the site nearest the
+    /// request's origin (spilling outward when a site saturates), and —
+    /// with federation on — pinned work whose home site is severed is
+    /// forwarded to the nearest healthy peer without losing the pin.
+    geo: RefCell<Option<Rc<GeoPlane>>>,
     /// Counts routes made while probation is active, for the probe window.
     probe_cursor: Cell<u64>,
 }
@@ -393,6 +405,7 @@ impl Dispatcher {
             drain_hook: RefCell::new(None),
             upload_hook: RefCell::new(None),
             health: RefCell::new(None),
+            geo: RefCell::new(None),
             probe_cursor: Cell::new(0),
         })
     }
@@ -408,6 +421,22 @@ impl Dispatcher {
     /// The attached health plane, if any.
     pub fn health_plane(&self) -> Option<Rc<HealthPlane>> {
         self.health.borrow().clone()
+    }
+
+    /// Attach a geo plane: routing becomes latency-aware (nearest healthy
+    /// site first, spill outward at the plane's saturation threshold) and
+    /// severed sites drop out of rotation for the length of their outage
+    /// window. Attach the same plane to the owning [`crate::Fleet`] (see
+    /// [`crate::Fleet::attach_geo`]) so replicas are placed and WAN costs
+    /// are charged; a fleet can carry the plane *without* the dispatcher
+    /// knowing — that is the site-oblivious control.
+    pub fn set_geo(&self, plane: Rc<GeoPlane>) {
+        *self.geo.borrow_mut() = Some(plane);
+    }
+
+    /// The attached geo plane, if any.
+    pub fn geo(&self) -> Option<Rc<GeoPlane>> {
+        self.geo.borrow().clone()
     }
 
     /// Put `name` on (or take it off) probation: it stays in rotation but
@@ -588,6 +617,10 @@ impl Dispatcher {
                 "repin" => {
                     c.affinity_repins += 1;
                     "dispatcher.affinity_repin"
+                }
+                "forward" => {
+                    c.forwarded += 1;
+                    "dispatcher.affinity_forward"
                 }
                 _ => {
                     c.affinity_misses += 1;
@@ -849,6 +882,85 @@ impl Dispatcher {
         self.eject_backend(sim, &name);
     }
 
+    /// Park every op outstanding on `site`'s replicas across an outage:
+    /// each watchdog is re-armed to `reconnect_at + request_timeout`, so
+    /// work already inside the partition is *waited out* instead of
+    /// ejected — the severed site holds its answers and delivers them on
+    /// reconnect (see [`GeoPlane`] outage semantics), which is what makes
+    /// a federated site outage lose nothing. No-op without a geo plane or
+    /// without a request timeout (nothing to re-arm). Returns how many
+    /// ops were parked.
+    pub fn park_site(self: &Rc<Self>, sim: &mut Sim, site: &str, reconnect_at: SimTime) -> usize {
+        let Some(g) = self.geo.borrow().clone() else {
+            return 0;
+        };
+        let Some(grace) = self.cfg.request_timeout else {
+            return 0;
+        };
+        let targets: Vec<u64> = {
+            let slots = self.slots.borrow();
+            slots
+                .iter()
+                .filter(|s| g.site_of(s.backend.name()).as_deref() == Some(site))
+                .flat_map(|s| s.ops.iter().copied())
+                .collect()
+        };
+        let mut parked = 0usize;
+        for id in targets {
+            let old = match self.ops.borrow_mut().get_mut(&id) {
+                None => continue,
+                Some(op) => op.timeout.take(),
+            };
+            if let Some(ev) = old {
+                sim.cancel_event(ev);
+            }
+            let this = Rc::clone(self);
+            let ev = sim.schedule((reconnect_at - sim.now()) + grace, move |sim| {
+                this.op_timed_out(sim, id)
+            });
+            if let Some(op) = self.ops.borrow_mut().get_mut(&id) {
+                op.timeout = Some(ev);
+            }
+            parked += 1;
+        }
+        if parked > 0 {
+            sim.counter_add("dispatcher.parked", parked as u64);
+        }
+        parked
+    }
+
+    /// Live (non-draining) backends with the count of affinity pins each
+    /// currently holds — zero-pin backends included. The autoscaler's
+    /// scale-down victim choice keys on this: evicting the least-pinned
+    /// replica orphans the fewest sessions.
+    pub fn live_pin_counts(&self) -> BTreeMap<String, usize> {
+        let mut counts: BTreeMap<String, usize> = self
+            .slots
+            .borrow()
+            .iter()
+            .filter(|s| !s.draining)
+            .map(|s| (s.backend.name().to_owned(), 0))
+            .collect();
+        for p in self.affinity.borrow().pins.values() {
+            if let Pin::Live(r) = p {
+                if let Some(c) = counts.get_mut(r) {
+                    *c += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Attempts currently outstanding on the named backend (0 if it is
+    /// not in rotation).
+    pub fn outstanding_on(&self, name: &str) -> usize {
+        self.slots
+            .borrow()
+            .iter()
+            .find(|s| s.backend.name() == name)
+            .map_or(0, Slot::outstanding)
+    }
+
     /// Does the named backend report healthy? Unknown backends (already
     /// ejected) count as unhealthy.
     fn backend_healthy(&self, name: &str) -> bool {
@@ -934,8 +1046,29 @@ impl Dispatcher {
                 live = if k.is_multiple_of(PROBE_EVERY) { probed } else { clean };
             }
         }
+        // Geo filter: replicas on a severed site leave the candidate set
+        // for the length of the outage window. With no plane attached (or
+        // no replica placed) the set is untouched — bit-for-bit the old
+        // routing. When every placed site is dark the request sheds at
+        // the door rather than being fed into a partition.
+        let geo = self.geo.borrow().clone();
+        if let Some(g) = &geo {
+            let now = sim.now();
+            let up: Vec<usize> = live
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    g.site_of(slots[i].backend.name())
+                        .is_none_or(|site| !g.is_down(&site, now))
+                })
+                .collect();
+            if up.is_empty() {
+                return None;
+            }
+            live = up;
+        }
         let (Some(aff), Some(key)) = (self.cfg.affinity, key) else {
-            return Some((self.pick_base(sim, &slots, &live), None));
+            return Some((self.pick_first_sight(sim, geo.as_deref(), &slots, &live), None));
         };
         let mut table = self.affinity.borrow_mut();
         match table.pins.get(key) {
@@ -946,26 +1079,121 @@ impl Dispatcher {
                 if let Some(&i) = live.iter().find(|&&i| slots[i].backend.name() == replica) {
                     return Some((i, Some("hit")));
                 }
+                if let Some(g) = &geo {
+                    let home = g.site_of(replica);
+                    // HTCondor-C-style forwarding: the pinned replica is
+                    // still in rotation but its site is severed. Serve the
+                    // principal from the nearest healthy peer *without*
+                    // re-pinning — the pin survives the outage, so the
+                    // session comes home on reconnect.
+                    let severed = home.as_deref().is_some_and(|s| g.is_down(s, sim.now()));
+                    let in_rotation = slots
+                        .iter()
+                        .any(|s| !s.draining && s.backend.name() == replica);
+                    if g.federation() && severed && in_rotation {
+                        let i = Self::pick_geo_rendezvous(g, key, &slots, &live, home.as_deref());
+                        g.note_forward();
+                        return Some((i, Some("forward")));
+                    }
+                    let i = Self::pick_geo_rendezvous(g, key, &slots, &live, home.as_deref());
+                    table.pin(key, slots[i].backend.name(), aff.capacity);
+                    return Some((i, Some("repin")));
+                }
                 let i = Self::pick_rendezvous(key, &slots, &live);
                 table.pin(key, slots[i].backend.name(), aff.capacity);
                 Some((i, Some("repin")))
             }
             // the pin died with its replica: deterministic reassignment,
             // a pure function of (key, live names) — independent of how
-            // retries interleaved with the loss
-            Some(Pin::Orphaned) => {
-                let i = Self::pick_rendezvous(key, &slots, &live);
+            // retries interleaved with the loss. With a geo plane the
+            // reassignment prefers peers of the dead replica's home site
+            // (placements outlive the replica), keeping sessions local.
+            Some(Pin::Orphaned(dead)) => {
+                let i = match &geo {
+                    Some(g) => {
+                        let home = g.site_of(dead);
+                        Self::pick_geo_rendezvous(g, key, &slots, &live, home.as_deref())
+                    }
+                    None => Self::pick_rendezvous(key, &slots, &live),
+                };
                 table.pin(key, slots[i].backend.name(), aff.capacity);
                 Some((i, Some("repin")))
             }
             // first sight of the key: let the base policy spread it, then
             // stick with the choice
             None => {
-                let i = self.pick_base(sim, &slots, &live);
+                let i = self.pick_first_sight(sim, geo.as_deref(), &slots, &live);
                 table.pin(key, slots[i].backend.name(), aff.capacity);
                 Some((i, Some("miss")))
             }
         }
+    }
+
+    /// First-sight pick: nearest-site under a geo plane, plain base
+    /// policy without one.
+    fn pick_first_sight(
+        &self,
+        sim: &Sim,
+        geo: Option<&GeoPlane>,
+        slots: &[Slot],
+        live: &[usize],
+    ) -> usize {
+        let Some(g) = geo else {
+            return self.pick_base(sim, slots, live);
+        };
+        let origin = g.origin();
+        let spill = g.spill_threshold();
+        // walk sites outward from the request's origin; the base policy
+        // balances *within* the first site that has an open replica
+        for site in g.map().nearest_order(&origin) {
+            let cands: Vec<usize> = live
+                .iter()
+                .copied()
+                .filter(|&i| g.site_of(slots[i].backend.name()).as_deref() == Some(site.as_str()))
+                .collect();
+            if cands.is_empty() {
+                continue;
+            }
+            let open: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| slots[i].outstanding() < spill)
+                .collect();
+            if !open.is_empty() {
+                return self.pick_base(sim, slots, &open);
+            }
+            // this site is saturated: spill to the next-nearest one
+        }
+        // every placed site saturated, or no replica placed at all
+        self.pick_base(sim, slots, live)
+    }
+
+    /// Rendezvous pick preferring peers of the `home` site: the nearest
+    /// site (ordered from `home`) holding any live candidate wins, and
+    /// the rendezvous hash breaks ties within it — so cross-site failover
+    /// is a pure function of (key, home, live names, outage schedule).
+    fn pick_geo_rendezvous(
+        g: &GeoPlane,
+        key: &str,
+        slots: &[Slot],
+        live: &[usize],
+        home: Option<&str>,
+    ) -> usize {
+        if let Some(home) = home {
+            for site in g.map().nearest_order(home) {
+                let cands: Vec<usize> = live
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        g.site_of(slots[i].backend.name()).as_deref() == Some(site.as_str())
+                    })
+                    .collect();
+                if !cands.is_empty() {
+                    return Self::pick_rendezvous(key, slots, &cands);
+                }
+            }
+        }
+        Self::pick_rendezvous(key, slots, live)
     }
 
     /// Highest rendezvous score over the live set wins.
@@ -1763,5 +1991,212 @@ mod tests {
         sim.run();
         let served: Vec<u64> = backends.iter().map(|b| b.served.get()).collect();
         assert_eq!(served, vec![0, 1, 0], "pick disagrees with profile rollup");
+    }
+
+    // -- geo routing ------------------------------------------------------
+
+    use crate::geo::SiteMap;
+
+    fn two_site_geo() -> Rc<GeoPlane> {
+        let mut map = SiteMap::new();
+        map.add_site("east");
+        map.add_site("west");
+        map.link("east", "west", Duration::from_millis(50), 1e9);
+        GeoPlane::new(map)
+    }
+
+    #[test]
+    fn geo_routing_prefers_the_nearest_site_and_spills_when_saturated() {
+        let mut sim = Sim::new(50);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            ..DispatcherConfig::default()
+        });
+        let geo = two_site_geo();
+        geo.set_spill_threshold(1);
+        geo.assign("e1", "east");
+        geo.assign("w1", "west");
+        d.set_geo(Rc::clone(&geo));
+        let near = Echo::new("e1", 100);
+        let far = Echo::new("w1", 100);
+        d.add_backend(near.clone());
+        d.add_backend(far.clone());
+        geo.set_origin("east");
+        for _ in 0..2 {
+            d.submit(&mut sim, invoke(), Box::new(|_, r| assert!(r.is_ok())));
+        }
+        // first request fills east to the spill threshold; the second
+        // spills to west instead of queueing cross-threshold at home
+        assert_eq!((near.served.get(), far.served.get()), (1, 1));
+        sim.run();
+        d.submit(&mut sim, invoke(), Box::new(|_, r| assert!(r.is_ok())));
+        sim.run();
+        assert_eq!(
+            (near.served.get(), far.served.get()),
+            (2, 1),
+            "an idle fleet routes home again"
+        );
+    }
+
+    #[test]
+    fn severed_sites_leave_rotation_and_an_all_dark_fleet_faults() {
+        let mut sim = Sim::new(51);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            ..DispatcherConfig::default()
+        });
+        let geo = two_site_geo();
+        geo.assign("e1", "east");
+        geo.assign("w1", "west");
+        d.set_geo(Rc::clone(&geo));
+        let east = Echo::new("e1", 5);
+        let west = Echo::new("w1", 5);
+        d.add_backend(east.clone());
+        d.add_backend(west.clone());
+        geo.set_origin("east");
+        geo.add_outage("east", sim.now(), SimTime::from_secs(100));
+        for _ in 0..3 {
+            d.submit(&mut sim, invoke(), Box::new(|_, _| {}));
+        }
+        sim.run();
+        assert_eq!(east.served.get(), 0, "no request enters the partition");
+        assert_eq!(west.served.get(), 3);
+        geo.add_outage("west", sim.now(), SimTime::from_secs(100));
+        d.submit(&mut sim, invoke(), Box::new(|_, r| assert!(r.is_err())));
+        sim.run();
+        let c = d.counters();
+        assert_eq!(c.faulted, 1, "all sites dark: the request fails fast");
+        assert_eq!(c.completed, 3);
+    }
+
+    #[test]
+    fn federation_forwards_pinned_work_and_the_pin_comes_home() {
+        let mut sim = Sim::new(52);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            affinity: Some(AffinityConfig::default()),
+            ..DispatcherConfig::default()
+        });
+        let geo = two_site_geo();
+        geo.set_federation(true);
+        geo.assign("e1", "east");
+        geo.assign("w1", "west");
+        d.set_geo(Rc::clone(&geo));
+        let east = Echo::new("e1", 5);
+        let west = Echo::new("w1", 5);
+        d.add_backend(east.clone());
+        d.add_backend(west.clone());
+        geo.set_origin("east");
+        // first sight pins alice to her nearest site
+        d.submit(&mut sim, invoke_as("alice"), Box::new(|_, r| assert!(r.is_ok())));
+        sim.run();
+        assert_eq!(east.served.get(), 1);
+        // sever east mid-session: alice's work forwards to west, pin kept
+        let outage_end = sim.now() + Duration::from_secs(60);
+        geo.add_outage("east", sim.now(), outage_end);
+        for _ in 0..2 {
+            d.submit(&mut sim, invoke_as("alice"), Box::new(|_, r| assert!(r.is_ok())));
+            sim.run();
+        }
+        assert_eq!(east.served.get(), 1);
+        assert_eq!(west.served.get(), 2);
+        let c = d.counters();
+        assert_eq!(c.forwarded, 2, "both outage-window requests forwarded");
+        assert_eq!(c.affinity_repins, 0, "forwarding never re-pins");
+        assert_eq!(geo.counters().forwards, 2);
+        // reconnect: the session comes home without a repin
+        let d2 = Rc::clone(&d);
+        sim.schedule((outage_end - sim.now()) + Duration::from_secs(1), move |sim| {
+            d2.submit(sim, invoke_as("alice"), Box::new(|_, r| assert!(r.is_ok())));
+        });
+        sim.run();
+        assert_eq!(east.served.get(), 2, "pin survived the outage");
+        assert_eq!(d.counters().affinity_hits, 1, "the homecoming is a plain hit");
+        assert_eq!(d.counters().affinity_misses, 1, "only the first sight misses");
+    }
+
+    #[test]
+    fn cross_site_rendezvous_failover_prefers_home_peers_deterministically() {
+        let run = || {
+            let mut sim = Sim::new(53);
+            let d = Dispatcher::new(DispatcherConfig {
+                policy: Policy::RoundRobin,
+                affinity: Some(AffinityConfig::default()),
+                ..DispatcherConfig::default()
+            });
+            let geo = two_site_geo();
+            for name in ["e1", "e2", "e3"] {
+                geo.assign(name, "east");
+            }
+            geo.assign("w1", "west");
+            d.set_geo(Rc::clone(&geo));
+            let backends: Vec<Rc<Echo>> = ["e1", "e2", "e3", "w1"]
+                .iter()
+                .map(|n| Echo::new(n, 5))
+                .collect();
+            for b in &backends {
+                d.add_backend(b.clone());
+            }
+            geo.set_origin("east");
+            d.submit(&mut sim, invoke_as("bob"), Box::new(|_, r| assert!(r.is_ok())));
+            sim.run();
+            assert_eq!(backends[0].served.get(), 1, "rr pins bob to e1");
+            // lose the pinned replica: the orphaned pin must reassign to a
+            // *home-site* peer (e2/e3), never the cross-site w1
+            assert!(d.eject_backend(&mut sim, "e1"));
+            d.submit(&mut sim, invoke_as("bob"), Box::new(|_, r| assert!(r.is_ok())));
+            sim.run();
+            assert_eq!(backends[3].served.get(), 0, "west peer not chosen");
+            assert_eq!(d.counters().affinity_repins, 1);
+            backends
+                .iter()
+                .map(|b| b.served.get())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "failover choice replays byte-identically");
+    }
+
+    #[test]
+    fn park_site_defers_the_watchdog_past_reconnect() {
+        let mut sim = Sim::new(54);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            retry: Some(RetryConfig::default()),
+            request_timeout: Some(Duration::from_secs(1)),
+            ..DispatcherConfig::default()
+        });
+        let geo = two_site_geo();
+        geo.set_federation(true);
+        geo.assign("dead", "east");
+        geo.assign("w1", "west");
+        d.set_geo(Rc::clone(&geo));
+        let hole = BlackHole::new("dead");
+        let west = Echo::new("w1", 5);
+        d.add_backend(hole.clone());
+        d.add_backend(west.clone());
+        geo.set_origin("east");
+        let finished = Rc::new(Cell::new(simkit::SimTime::ZERO));
+        let f = finished.clone();
+        d.submit(
+            &mut sim,
+            invoke(),
+            Box::new(move |sim, r| {
+                assert!(r.is_ok(), "retried on the survivor after the park");
+                f.set(sim.now());
+            }),
+        );
+        // the site is severed with the request in flight; park re-arms the
+        // 1 s watchdog to reconnect + 1 s instead of firing at +1 s
+        let reconnect = sim.now() + Duration::from_secs(30);
+        geo.add_outage("east", sim.now(), reconnect);
+        assert_eq!(d.park_site(&mut sim, "east", reconnect), 1);
+        sim.run();
+        assert!(
+            finished.get() >= reconnect,
+            "watchdog waited out the outage: finished {:?}",
+            finished.get()
+        );
+        assert_eq!(d.counters().ejected, 1, "silent backend still ejected");
+        assert_eq!(west.served.get(), 1);
     }
 }

@@ -27,6 +27,7 @@ use vappliance::{Appliance, ApplianceImage, DeploySpec};
 use wsstack::{BindingTemplate, SoapFault, UddiRegistry};
 
 use crate::dispatcher::{Backend, Dispatcher, DispatcherConfig, Request, Responder};
+use crate::geo::GeoPlane;
 
 /// Where the executable database lives relative to the replicas.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -135,6 +136,10 @@ pub struct Fleet {
     image_link: Rc<Link>,
     registry: Rc<RefCell<UddiRegistry>>,
     shared_storage: Option<Rc<Host>>,
+    /// Optional geo plane ([`Fleet::attach_geo`]): replicas get placed on
+    /// sites and pay WAN costs; the dispatcher stays site-blind unless the
+    /// plane is *also* attached there ([`Dispatcher::set_geo`]).
+    geo: RefCell<Option<Rc<GeoPlane>>>,
     inner: RefCell<Inner>,
 }
 
@@ -163,6 +168,7 @@ impl Fleet {
             image_link,
             registry: Rc::new(RefCell::new(UddiRegistry::new())),
             shared_storage,
+            geo: RefCell::new(None),
             inner: RefCell::new(Inner {
                 next_id: 0,
                 replicas: Vec::new(),
@@ -203,6 +209,72 @@ impl Fleet {
     /// The front-end router (also the workload sink).
     pub fn dispatcher(&self) -> &Rc<Dispatcher> {
         &self.dispatcher
+    }
+
+    /// Attach a geo plane: every current and future replica is placed on
+    /// a site (round-robin in boot order) and pays the plane's WAN cost
+    /// for cross-site answers; severed sites swallow requests and hold
+    /// answers for the outage window. This alone keeps the *dispatcher*
+    /// site-blind — the site-oblivious control in the geo bench. Call
+    /// [`Dispatcher::set_geo`] with the same plane for latency-aware
+    /// routing and federation. If a health plane is already attached its
+    /// per-replica series get `site` labels; attach health first when you
+    /// want labelled exposition.
+    pub fn attach_geo(&self, plane: Rc<GeoPlane>) {
+        let names: Vec<String> = self
+            .inner
+            .borrow()
+            .replicas
+            .iter()
+            .filter(|r| !r.retired)
+            .map(|r| r.name.clone())
+            .collect();
+        for name in names {
+            let site = plane.place(&name);
+            if let Some(health) = self.dispatcher.health_plane() {
+                health.set_site(&name, &site);
+            }
+        }
+        *self.geo.borrow_mut() = Some(plane);
+    }
+
+    /// The attached geo plane, if any.
+    pub fn geo_plane(&self) -> Option<Rc<GeoPlane>> {
+        self.geo.borrow().clone()
+    }
+
+    /// A site was just severed (chaos tier): emit telemetry and — when
+    /// federation is on — park the dispatcher's in-flight watchdogs on
+    /// that site past the reconnect, so work already inside the partition
+    /// is waited out instead of ejected. The unreachability itself comes
+    /// from the plane's outage window, which must already be registered.
+    pub fn sever_site(self: &Rc<Self>, sim: &mut Sim, site: &str) {
+        let Some(geo) = self.geo.borrow().clone() else {
+            return;
+        };
+        let span = sim.span_begin("fleet.site_severed");
+        sim.span_attr(span, "site", site.to_owned());
+        sim.counter_add("fleet.site_severed", 1);
+        if geo.federation() {
+            if let Some(at) = geo.reconnect_at(site, sim.now()) {
+                let parked = self.dispatcher.park_site(sim, site, at);
+                sim.span_attr(span, "parked", parked as u64);
+            }
+        }
+        sim.span_end(span);
+    }
+
+    /// A severed site reconnected: telemetry only — held answers deliver
+    /// themselves ([`GeoPlane`] outage semantics) and routing readmits
+    /// the site the moment its outage window closes.
+    pub fn restore_site(&self, sim: &mut Sim, site: &str) {
+        if self.geo.borrow().is_none() {
+            return;
+        }
+        let span = sim.span_begin("fleet.site_restored");
+        sim.span_attr(span, "site", site.to_owned());
+        sim.counter_add("fleet.site_restored", 1);
+        sim.span_end(span);
     }
 
     /// The front-end UDDI registry: one businessService per published
@@ -368,23 +440,35 @@ impl Fleet {
         true
     }
 
-    /// Take the newest active replica out of rotation: stop advertising
-    /// it, let its in-flight work drain, then destroy the appliance.
-    /// Refuses (returns `false`) when it would leave no capacity at all.
+    /// Take the cheapest active replica out of rotation: the one holding
+    /// the fewest affinity pins (orphaning the minimum number of
+    /// sessions), breaking ties on fewest outstanding attempts, then on
+    /// newest boot — so with no pins and no load the choice degrades to
+    /// the classic newest-first. Stops advertising it, lets its in-flight
+    /// work drain, then destroys the appliance. Refuses (returns `false`)
+    /// when it would leave no capacity at all.
     pub fn scale_down(self: &Rc<Self>, sim: &mut Sim) -> bool {
         if self.active_replicas() <= 1 {
             return false;
         }
+        let pin_counts = self.dispatcher.live_pin_counts();
         let name = {
             let mut inner = self.inner.borrow_mut();
-            let Some(victim) = inner
+            let victim_idx = inner
                 .replicas
-                .iter_mut()
-                .rev()
-                .find(|r| r.deployment.is_some() && !r.retired)
-            else {
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.deployment.is_some() && !r.retired)
+                .min_by_key(|(i, r)| {
+                    let pins = pin_counts.get(&r.name).copied().unwrap_or(0);
+                    let load = self.dispatcher.outstanding_on(&r.name);
+                    (pins, load, std::cmp::Reverse(*i))
+                })
+                .map(|(i, _)| i);
+            let Some(i) = victim_idx else {
                 return false;
             };
+            let victim = &mut inner.replicas[i];
             victim.retired = true;
             victim.name.clone()
         };
@@ -630,11 +714,21 @@ impl Fleet {
         for service in services {
             self.advertise(&service, &name);
         }
+        let geo = self.geo.borrow().clone().map(|g| {
+            // idempotent for replicas placed at attach time; a replacement
+            // booted later gets the next site round-robin here
+            let site = g.place(&name);
+            if let Some(health) = self.dispatcher.health_plane() {
+                health.set_site(&name, &site);
+            }
+            (g, site)
+        });
         self.dispatcher.add_backend(Rc::new(ReplicaBackend {
             name,
             deployment: d,
             crashed,
             slow_factor,
+            geo,
         }));
     }
 
@@ -690,6 +784,11 @@ struct ReplicaBackend {
     deployment: Rc<Deployment>,
     crashed: Rc<Cell<bool>>,
     slow_factor: Rc<Cell<f64>>,
+    /// Set when the owning fleet carries a geo plane: which site this
+    /// replica lives on. Requests then pay the WAN round trip back to
+    /// their origin, and a severed site swallows requests / holds
+    /// answers for its outage window.
+    geo: Option<(Rc<GeoPlane>, String)>,
 }
 
 impl ReplicaBackend {
@@ -714,6 +813,31 @@ impl ReplicaBackend {
             done(sim, res);
         })
     }
+
+    /// Wrap `done` with the geo plane's delivery semantics. When the
+    /// answer is ready: if the replica's site is severed *at that moment*
+    /// the answer is held at the site and pulled back on reconnect
+    /// (HTCondor-C result pull — this covers outages that begin after the
+    /// request was accepted); then the WAN round trip back to the
+    /// request's origin site is charged. Intra-site delivery adds zero
+    /// delay and schedules no event, so a single-site fleet is
+    /// bit-for-bit unchanged.
+    fn geo_deliver(geo: Rc<GeoPlane>, site: String, origin: String, done: Responder) -> Responder {
+        Box::new(move |sim: &mut Sim, res| {
+            let mut delay = Duration::ZERO;
+            if let Some(at) = geo.reconnect_at(&site, sim.now()) {
+                delay += at - sim.now();
+                geo.note_result_pulled();
+                sim.counter_add("geo.result_pulled", 1);
+            }
+            delay += geo.round_trip(&origin, &site);
+            if delay.is_zero() {
+                done(sim, res);
+            } else {
+                sim.schedule(delay, move |sim| done(sim, res));
+            }
+        })
+    }
 }
 
 impl Backend for ReplicaBackend {
@@ -735,6 +859,20 @@ impl Backend for ReplicaBackend {
             );
             return;
         }
+        let done = match &self.geo {
+            Some((geo, site)) => {
+                if geo.is_down(site, sim.now()) {
+                    // the partition swallows the request whole: no refusal,
+                    // no answer — only the front door's watchdog can tell
+                    geo.note_blackholed();
+                    sim.counter_add("geo.blackholed", 1);
+                    return;
+                }
+                // ambient origin of the request being dispatched right now
+                Self::geo_deliver(Rc::clone(geo), site.clone(), geo.origin(), done)
+            }
+            None => done,
+        };
         let done = self.stretch(sim.now(), done);
         match req {
             Request::Invoke { service, args, .. } => {
@@ -860,6 +998,57 @@ mod tests {
         let services = registry.find("tool");
         assert_eq!(services.len(), 1);
         assert_eq!(services[0].bindings.len(), 2);
+    }
+
+    #[test]
+    fn scale_down_victim_is_the_least_pinned_replica_not_the_newest() {
+        let mut sim = Sim::new(14);
+        let mut s = spec(StorageTopology::Replicated, 3);
+        s.dispatcher.policy = crate::dispatcher::Policy::RoundRobin;
+        s.dispatcher.affinity = Some(crate::dispatcher::AffinityConfig::default());
+        let fleet = Fleet::new(&mut sim, s);
+        sim.run();
+        fleet.publish(
+            &mut sim,
+            "app.exe",
+            1024,
+            ExecutionProfile::quick(),
+            |_| {},
+        );
+        sim.run();
+        let names = fleet.active_replica_names();
+        assert_eq!(names.len(), 3);
+        // an unpinned request advances round-robin past the oldest
+        // replica, then two principals pin themselves to the other two —
+        // leaving the OLDEST replica pin-free
+        fleet
+            .dispatcher()
+            .clone()
+            .submit(&mut sim, invoke("app"), Box::new(|_, r| assert!(r.is_ok())));
+        for principal in ["alice", "bob"] {
+            let req = Request::Invoke {
+                service: "app".into(),
+                args: Vec::new(),
+                principal: Some(principal.into()),
+            };
+            fleet
+                .dispatcher()
+                .clone()
+                .submit(&mut sim, req, Box::new(|_, r| assert!(r.is_ok())));
+        }
+        sim.run();
+        let pins = fleet.dispatcher().live_pin_counts();
+        assert_eq!(pins[&names[0]], 0);
+        assert_eq!(pins[&names[1]], 1);
+        assert_eq!(pins[&names[2]], 1);
+        assert!(fleet.scale_down(&mut sim));
+        sim.run();
+        let survivors = fleet.active_replica_names();
+        assert_eq!(
+            survivors,
+            vec![names[1].clone(), names[2].clone()],
+            "the pin-free oldest replica retires, not the newest"
+        );
     }
 
     #[test]

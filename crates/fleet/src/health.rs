@@ -98,6 +98,11 @@ pub struct HealthPlane {
     cfg: HealthConfig,
     reg: RefCell<WindowedRegistry>,
     tenants: Cell<usize>,
+    /// Replica → geo site, for `site="..."` labels on per-replica series
+    /// in the Prometheus exposition. Fed by [`crate::Fleet::attach_geo`];
+    /// empty (the default) leaves the exposition byte-identical to the
+    /// pre-geo format.
+    sites: RefCell<BTreeMap<String, String>>,
 }
 
 impl HealthPlane {
@@ -110,8 +115,24 @@ impl HealthPlane {
         Rc::new(HealthPlane {
             reg: RefCell::new(WindowedRegistry::new(cfg.window, cfg.ring)),
             tenants: Cell::new(0),
+            sites: RefCell::new(BTreeMap::new()),
             cfg,
         })
+    }
+
+    /// Tag `replica`'s per-replica series with its geo site: every
+    /// `fleet_replica_<name>_*` sample in the Prometheus exposition gains
+    /// a `site="<site>"` label. Idempotent; called by
+    /// [`crate::Fleet::attach_geo`] and on every later replica activation.
+    pub fn set_site(&self, replica: &str, site: &str) {
+        self.sites
+            .borrow_mut()
+            .insert(replica.to_owned(), site.to_owned());
+    }
+
+    /// The geo site `replica` was tagged with, if any.
+    pub fn site_of(&self, replica: &str) -> Option<String> {
+        self.sites.borrow().get(replica).cloned()
     }
 
     /// The active thresholds.
@@ -201,9 +222,18 @@ impl HealthPlane {
         self.tenants.get()
     }
 
-    /// Prometheus text exposition of every series at `now`.
+    /// Prometheus text exposition of every series at `now`. Per-replica
+    /// series carry a `site` label when the replica was tagged with
+    /// [`HealthPlane::set_site`]; with no tags the output is
+    /// byte-identical to the unlabeled format.
     pub fn prometheus_text(&self, now: SimTime) -> String {
-        self.reg.borrow().prometheus_text(now)
+        let sites = self.sites.borrow();
+        self.reg.borrow().prometheus_text_labeled(now, |name| {
+            let rest = name.strip_prefix("fleet.replica.")?;
+            let (replica, _) = rest.split_once('.')?;
+            let site = sites.get(replica)?;
+            Some(("site".to_owned(), site.clone()))
+        })
     }
 
     /// Full time-series CSV dump (one row per non-empty window).
@@ -511,5 +541,40 @@ mod tests {
             simkit::validate_prometheus_text(&text).expect("snapshot parses strictly");
         assert!(families >= 5, "got {families} families:\n{text}");
         assert!(samples > families, "summaries expose multiple samples");
+    }
+
+    #[test]
+    fn site_labels_tag_per_replica_series_and_still_validate() {
+        let plane = HealthPlane::new(HealthConfig::default());
+        let t = SimTime::from_secs(3);
+        plane.record_attempt(t, "replica0", Duration::from_millis(7), false);
+        plane.record_attempt(t, "replica0", Duration::from_millis(9), true);
+        plane.record_attempt(t, "replica1", Duration::from_millis(5), false);
+        plane.record_submit(t, 2, 3, Some("alice"));
+        let untagged = plane.prometheus_text(t);
+        assert!(
+            !untagged.contains("site="),
+            "no tags, no labels:\n{untagged}"
+        );
+
+        plane.set_site("replica0", "east");
+        assert_eq!(plane.site_of("replica0").as_deref(), Some("east"));
+        let text = plane.prometheus_text(t);
+        simkit::validate_prometheus_text(&text).expect("labeled snapshot parses strictly");
+        assert!(
+            text.contains(r#"fleet_replica_replica0_latency_us{quantile="0.5",site="east"}"#),
+            "quantile series carry the site label:\n{text}"
+        );
+        assert!(
+            text.contains(r#"fleet_replica_replica0_latency_us_sum{site="east"}"#),
+            "summary _sum carries the site label:\n{text}"
+        );
+        assert!(
+            text.contains(r#"fleet_replica_replica0_errors{site="east"}"#),
+            "counters carry the site label:\n{text}"
+        );
+        // replicas with no placement and fleet-wide series stay label-free
+        assert!(text.contains(r#"fleet_replica_replica1_latency_us{quantile="0.5"}"#));
+        assert!(!text.contains(r#"fleet_attempt_latency_us{quantile="0.5",site="#));
     }
 }

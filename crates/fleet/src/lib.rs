@@ -28,6 +28,11 @@
 //!   event schedule, a peer-relative gray-failure detector
 //!   (probation-weighted routing, then ejection), and Prometheus-text /
 //!   time-series-CSV export.
+//! * [`geo`] — the geography plane: multi-site replica placement over
+//!   modelled WAN links, nearest-site routing with cross-site spill,
+//!   whole-site outage windows with held-and-pulled answers, and
+//!   HTCondor-C-style federation that forwards pinned work away from a
+//!   severed site without losing it.
 //!
 //! ## Quick start
 //!
@@ -55,6 +60,7 @@ pub mod autoscaler;
 pub mod chaos;
 pub mod dispatcher;
 pub mod fleet;
+pub mod geo;
 pub mod health;
 pub mod workload;
 
@@ -65,6 +71,7 @@ pub use dispatcher::{
     Responder, RetryConfig,
 };
 pub use fleet::{Fleet, FleetSpec, StorageTopology};
+pub use geo::{GeoCounters, GeoPlane, SiteMap, WanLink};
 pub use health::{
     DetectorAction, DetectorEvent, GrayFailureDetector, HealthConfig, HealthPlane, ReplicaHealth,
 };

@@ -10,11 +10,15 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use fleet::{Backend, Dispatcher, DispatcherConfig, Policy, Request, Responder, RetryConfig};
+use fleet::{
+    Backend, Dispatcher, DispatcherConfig, Fleet, FleetSpec, GeoPlane, Policy, Request, Responder,
+    RetryConfig, SiteMap, StorageTopology,
+};
 use onserve::profile::ExecutionProfile;
 use proptest::prelude::*;
 use simkit::fault::FaultPlan;
-use simkit::{Duration, Sim, SimTime, SpanId};
+use simkit::{Duration, Sim, SimTime, SpanId, KB, MB};
+use vappliance::ApplianceImage;
 use wsstack::{SoapFault, SoapValue};
 
 /// Test double: serves after a fixed delay, optionally always faulting.
@@ -381,5 +385,253 @@ proptest! {
         prop_assert_eq!(c.accepted + c.shed, total, "door ledger");
         prop_assert_eq!(c.accepted, c.completed + c.faulted, "outcome ledger");
         prop_assert_eq!(d.in_flight(), 0, "in-flight after drain");
+    }
+}
+
+/// A hand-built map of `n` sites `s0..sN` with every pair linked —
+/// latencies spread so `nearest_order` is non-trivial.
+fn grid_map(n_sites: usize) -> SiteMap {
+    let mut map = SiteMap::new();
+    for s in 0..n_sites {
+        map.add_site(&format!("s{s}"));
+    }
+    for a in 0..n_sites {
+        for b in (a + 1)..n_sites {
+            map.link(
+                &format!("s{a}"),
+                &format!("s{b}"),
+                Duration::from_millis(10 * (a + b + 1) as u64),
+                100.0 * KB,
+            );
+        }
+    }
+    map
+}
+
+proptest! {
+    /// Geo routing treats a site outage as a routing fact, never a
+    /// request killer: under arbitrary site maps, outage windows, spill
+    /// thresholds and pinned/unpinned arrival mixes,
+    ///
+    /// 1. no request is ever dispatched to a replica whose site is
+    ///    severed at that instant — for the first-sight, sticky-hit,
+    ///    federation-forward and repin paths alike;
+    /// 2. a request arriving while *every* placed site is dark sheds at
+    ///    the door instead of being fed into a partition;
+    /// 3. every federation forward the dispatcher counts is one the geo
+    ///    plane counts (the two ledgers agree);
+    ///
+    /// and conservation holds throughout.
+    #[test]
+    fn geo_routing_never_dispatches_into_a_severed_site(
+        n_sites in 2usize..5,
+        n_backends in 2usize..6,
+        outages in proptest::collection::vec((0usize..5, 0u64..2_500, 100u64..1_500), 0..4),
+        arrivals in proptest::collection::vec((0u64..3_000, 0usize..6, any::<bool>()), 1..40),
+        spill in 1usize..4,
+        federation in any::<bool>(),
+    ) {
+        let mut sim = Sim::new(0x9e0);
+        let geo = GeoPlane::new(grid_map(n_sites));
+        geo.set_spill_threshold(spill);
+        geo.set_federation(federation);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::LeastOutstanding,
+            max_in_flight: 64,
+            affinity: Some(fleet::AffinityConfig::default()),
+            ..DispatcherConfig::default()
+        });
+        let serves: Vec<Rc<RefCell<Vec<SimTime>>>> =
+            (0..n_backends).map(|_| Rc::new(RefCell::new(Vec::new()))).collect();
+        for (i, log) in serves.iter().enumerate() {
+            d.add_backend(Rc::new(StampingEcho {
+                name: format!("r{i}"),
+                delay: Duration::from_millis(80),
+                log: Rc::clone(log),
+            }));
+            geo.assign(&format!("r{i}"), &format!("s{}", i % n_sites));
+        }
+        d.set_geo(Rc::clone(&geo));
+        for &(site_idx, from_ms, dur_ms) in &outages {
+            let from = SimTime::ZERO + Duration::from_millis(from_ms);
+            geo.add_outage(
+                &format!("s{}", site_idx % n_sites),
+                from,
+                from + Duration::from_millis(dur_ms),
+            );
+        }
+        let answered = Rc::new(Cell::new(0u64));
+        for &(at_ms, user, pinned) in &arrivals {
+            let d2 = Rc::clone(&d);
+            let a = Rc::clone(&answered);
+            sim.schedule(Duration::from_millis(at_ms), move |sim| {
+                d2.submit(
+                    sim,
+                    Request::Invoke {
+                        service: "svc".into(),
+                        args: Vec::new(),
+                        principal: pinned.then(|| format!("u{user}")),
+                    },
+                    Box::new(move |_, _| a.set(a.get() + 1)),
+                );
+            });
+        }
+        sim.run();
+        // 1. no dispatch lands inside an outage window of the replica's site
+        for (i, log) in serves.iter().enumerate() {
+            let site = format!("s{}", i % n_sites);
+            for &t in log.borrow().iter() {
+                prop_assert!(
+                    !geo.is_down(&site, t),
+                    "r{i} on {site} was dispatched work at {t:?} while the site was severed"
+                );
+            }
+        }
+        let c = d.counters();
+        let total = arrivals.len() as u64;
+        // 2 + conservation: all-dark arrivals shed at the door, nothing lost
+        prop_assert_eq!(answered.get(), total, "answered != submitted");
+        prop_assert_eq!(c.accepted + c.shed, total, "door ledger");
+        prop_assert_eq!(c.accepted, c.completed + c.faulted, "outcome ledger");
+        prop_assert_eq!(d.in_flight(), 0, "in-flight after drain");
+        // 3. the dispatcher's forward count and the plane's agree
+        prop_assert_eq!(c.forwarded, geo.counters().forwards, "forward ledgers disagree");
+    }
+}
+
+/// One full-fleet geo run; returns the run's observable signature so the
+/// replay-determinism property can compare two executions bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn geo_fleet_run(
+    seed: u64,
+    victim: usize,
+    offset_s: u64,
+    dur_s: u64,
+    drop_pct: u64,
+    jitter_ms: u64,
+    n_arrivals: u64,
+    gap_ms: u64,
+    federated: bool,
+) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64) {
+    let mut sim = Sim::new(seed);
+    let mut spec = FleetSpec::with_image(ApplianceImage {
+        name: "onserve".into(),
+        bytes: 600.0 * MB,
+        boot_services: vec!["mysqld".into(), "tomcat".into(), "juddi".into()],
+        recipe_fingerprint: 1,
+    });
+    spec.topology = StorageTopology::Replicated;
+    spec.initial_replicas = 3;
+    spec.dispatcher.max_in_flight = 64;
+    spec.dispatcher.affinity = Some(fleet::AffinityConfig::default());
+    spec.dispatcher.request_timeout = Some(Duration::from_secs(60));
+    spec.dispatcher.retry = None;
+    let fleet = Fleet::new(&mut sim, spec);
+    // attach before the scheduled boots run so every replica activates
+    // with its site placement
+    let geo = GeoPlane::new(grid_map(3));
+    geo.set_payload_bytes(32.0 * KB);
+    geo.set_spill_threshold(1);
+    geo.set_federation(federated);
+    let inj = FaultPlan::new(seed)
+        .link_drop(drop_pct as f64 / 100.0)
+        .link_extra_delay(Duration::from_millis(jitter_ms))
+        .injector();
+    geo.set_injector(Rc::clone(&inj));
+    fleet.attach_geo(Rc::clone(&geo));
+    if federated {
+        fleet.dispatcher().set_geo(Rc::clone(&geo));
+    }
+    sim.run();
+    fleet.publish(&mut sim, "app.exe", 64 * 1024, ExecutionProfile::quick(), |_| {});
+    sim.run();
+    let t0 = sim.now();
+    let site = format!("s{}", victim % 3);
+    let from = t0 + Duration::from_secs(offset_s);
+    geo.add_outage(&site, from, from + Duration::from_secs(dur_s));
+    let (f2, s2) = (Rc::clone(&fleet), site.clone());
+    sim.schedule(Duration::from_secs(offset_s), move |sim| {
+        f2.sever_site(sim, &s2);
+    });
+    let f3 = Rc::clone(&fleet);
+    sim.schedule(Duration::from_secs(offset_s + dur_s), move |sim| {
+        f3.restore_site(sim, &site);
+    });
+    let answered = Rc::new(Cell::new(0u64));
+    let completed = Rc::new(Cell::new(0u64));
+    for i in 0..n_arrivals {
+        let d2 = Rc::clone(fleet.dispatcher());
+        let (a, c) = (Rc::clone(&answered), Rc::clone(&completed));
+        sim.schedule(Duration::from_millis(i * gap_ms), move |sim| {
+            d2.submit(
+                sim,
+                Request::Invoke {
+                    service: "app".into(),
+                    args: Vec::new(),
+                    principal: Some(format!("u{}", i % 5)),
+                },
+                Box::new(move |_, res| {
+                    a.set(a.get() + 1);
+                    if res.is_ok() {
+                        c.set(c.get() + 1);
+                    }
+                }),
+            );
+        });
+    }
+    sim.run(); // drain every answer, held result and watchdog
+    let c = fleet.dispatcher().counters();
+    let g = geo.counters();
+    (
+        answered.get(),
+        completed.get(),
+        c.accepted,
+        c.shed,
+        c.completed,
+        c.faulted,
+        fleet.dispatcher().in_flight() as u64,
+        g.blackholed,
+        g.wan_hops,
+        inj.counts().link_drops,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// The full fleet — real replica boots, WAN answer delivery, held
+    /// results, watchdogs — conserves requests under an arbitrary seeded
+    /// site outage stacked on arbitrary link faults, in both the
+    /// site-oblivious and federated arms; with geo routing on, nothing is
+    /// ever fed into the partition (zero blackholes); and the entire run
+    /// replays bit-identically from the same seed.
+    #[test]
+    fn fleet_conserves_requests_under_site_outages_and_link_faults(
+        seed in any::<u64>(),
+        victim in 0usize..3,
+        offset_s in 1u64..30,
+        dur_s in 2u64..40,
+        drop_pct in 0u64..40,
+        jitter_ms in 0u64..400,
+        n_arrivals in 4u64..20,
+        gap_ms in 500u64..3_000,
+        federated in any::<bool>(),
+    ) {
+        let run = || geo_fleet_run(
+            seed, victim, offset_s, dur_s, drop_pct, jitter_ms,
+            n_arrivals, gap_ms, federated,
+        );
+        let sig = run();
+        let (answered, _, accepted, shed, completed, faulted, in_flight, blackholed, _, _) = sig;
+        prop_assert_eq!(answered, n_arrivals, "answered != submitted");
+        prop_assert_eq!(accepted + shed, n_arrivals, "door ledger");
+        prop_assert_eq!(accepted, completed + faulted, "outcome ledger");
+        prop_assert_eq!(in_flight, 0, "in-flight after drain");
+        if federated {
+            // routing filters severed sites at dispatch time, so no
+            // request can vanish into the partition
+            prop_assert_eq!(blackholed, 0, "federated arm fed the partition");
+        }
+        // same seed, same knobs — same run, bit for bit
+        prop_assert_eq!(run(), sig, "replay diverged");
     }
 }

@@ -53,6 +53,6 @@ pub use ops::Maintenance;
 pub use rsl::JobDescription;
 pub use scheduler::{ClusterScheduler, SchedPolicy};
 pub use security::{CertAuthority, Credential, MyProxyServer, ProxyCert, SecurityError};
-pub use site::{GridSite, SiteSpec, StorageService};
+pub use site::{wan_between, GridSite, SiteSpec, StorageService};
 pub use trace::{TraceJob, WorkloadTrace};
 pub use workload::BackgroundLoad;

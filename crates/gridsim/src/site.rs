@@ -56,6 +56,22 @@ impl SiteSpec {
     }
 }
 
+/// The modelled WAN path between two sites: there is no dedicated
+/// inter-site circuit, so traffic hairpins through the access layer —
+/// one-way latency is the *sum* of both sites' access latencies, and the
+/// path bandwidth is the *min* of the two access bandwidths. A site paired
+/// with itself is a free local hop. Returns `(one_way_latency,
+/// bandwidth_bps)`.
+pub fn wan_between(a: &SiteSpec, b: &SiteSpec) -> (Duration, f64) {
+    if a.name == b.name {
+        return (Duration::ZERO, f64::INFINITY);
+    }
+    (
+        a.wan_latency + b.wan_latency,
+        a.wan_bandwidth_bps.min(b.wan_bandwidth_bps),
+    )
+}
+
 /// GridFTP-like storage: logical files on the site's scratch filesystem.
 pub struct StorageService {
     site: String,
@@ -373,6 +389,25 @@ mod tests {
         });
         sim.run();
         assert!(at.get() > 9.5 && at.get() < 11.0, "{}", at.get());
+    }
+
+    #[test]
+    fn wan_between_sums_latency_and_mins_bandwidth() {
+        let mut a = SiteSpec::teragrid_like("east", 2, 4);
+        a.wan_latency = Duration::from_millis(30);
+        a.wan_bandwidth_bps = 100.0 * KB;
+        let mut b = SiteSpec::teragrid_like("west", 2, 4);
+        b.wan_latency = Duration::from_millis(55);
+        b.wan_bandwidth_bps = 85.0 * KB;
+        let (lat, bw) = wan_between(&a, &b);
+        assert_eq!(lat, Duration::from_millis(85));
+        assert_eq!(bw, 85.0 * KB);
+        // symmetric
+        assert_eq!(wan_between(&b, &a), (lat, bw));
+        // self-pair is a free local hop
+        let (l0, bw0) = wan_between(&a, &a);
+        assert!(l0.is_zero());
+        assert!(bw0.is_infinite());
     }
 
     #[test]

@@ -76,6 +76,13 @@ pub struct FaultPlan {
     /// latency. The victim still answers; nothing crashes. The fleet tier
     /// maps these onto replicas ([`FaultPlan::slow_times`]).
     pub slows: Vec<(Duration, f64)>,
+    /// Site-outage windows: `(offset, duration)` — at `offset` the owning
+    /// tier severs one whole *site* (every replica there unreachable, WAN
+    /// links cut, queued work frozen) and restores it at
+    /// `offset + duration`. Victim-site selection is the owning tier's
+    /// business ([`FaultPlan::site_down_times`]); nothing crashes — work
+    /// in flight at the severed site survives the window.
+    pub site_downs: Vec<(Duration, Duration)>,
     /// Substrate-fault rates.
     pub config: FaultConfig,
 }
@@ -110,6 +117,14 @@ impl FaultPlan {
     pub fn slow_at(mut self, offset: Duration, factor: f64) -> Self {
         assert!(factor >= 1.0, "slow factor must be >= 1.0, got {factor}");
         self.slows.push((offset, factor));
+        self
+    }
+
+    /// Add one site-outage window: at `offset` from the chaos start,
+    /// sever one whole site for `duration` (`duration` must be non-zero).
+    pub fn site_down(mut self, offset: Duration, duration: Duration) -> Self {
+        assert!(!duration.is_zero(), "site outage needs a non-zero duration");
+        self.site_downs.push((offset, duration));
         self
     }
 
@@ -163,6 +178,15 @@ impl FaultPlan {
     /// (use [`FaultPlan::derived_rng`] with a tier salt).
     pub fn slow_times(&self) -> Vec<(Duration, f64)> {
         let mut v = self.slows.clone();
+        v.sort_by_key(|s| s.0);
+        v
+    }
+
+    /// Materialize the site-outage schedule: `(offset, duration)` windows
+    /// sorted by offset. Which site each window severs is the owning
+    /// tier's business (use [`FaultPlan::derived_rng`] with a tier salt).
+    pub fn site_down_times(&self) -> Vec<(Duration, Duration)> {
+        let mut v = self.site_downs.clone();
         v.sort_by_key(|s| s.0);
         v
     }
@@ -330,6 +354,27 @@ mod tests {
             FaultPlan::new(5).slow_at(Duration::from_secs(1), 0.5)
         });
         assert!(caught.is_err(), "sub-1.0 factor must be rejected");
+    }
+
+    #[test]
+    fn site_down_schedule_sorts_and_validates() {
+        let plan = FaultPlan::new(6)
+            .site_down(Duration::from_secs(300), Duration::from_secs(60))
+            .site_down(Duration::from_secs(100), Duration::from_secs(30));
+        assert_eq!(
+            plan.site_down_times(),
+            vec![
+                (Duration::from_secs(100), Duration::from_secs(30)),
+                (Duration::from_secs(300), Duration::from_secs(60))
+            ]
+        );
+        // outage windows leave the other schedules alone
+        assert!(plan.crash_times().is_empty());
+        assert!(plan.slow_times().is_empty());
+        let caught = std::panic::catch_unwind(|| {
+            FaultPlan::new(6).site_down(Duration::from_secs(1), Duration::ZERO)
+        });
+        assert!(caught.is_err(), "zero-length outage must be rejected");
     }
 
     #[test]

@@ -605,6 +605,20 @@ impl WindowedRegistry {
     /// series as a `counter` with the lifetime sum. Values are in the raw
     /// recorded units. The output passes [`validate_prometheus_text`].
     pub fn prometheus_text(&self, now: SimTime) -> String {
+        self.prometheus_text_labeled(now, |_| None)
+    }
+
+    /// [`WindowedRegistry::prometheus_text`] with per-series extra labels:
+    /// `label_for` maps each *raw* (unsanitized) series name onto an
+    /// optional `(key, value)` label attached to every sample of that
+    /// family — how the fleet's health plane tags per-replica series with
+    /// their geo `site`. A callback that always returns `None` produces
+    /// byte-identical output to the unlabeled snapshot.
+    pub fn prometheus_text_labeled(
+        &self,
+        now: SimTime,
+        label_for: impl Fn(&str) -> Option<(String, String)>,
+    ) -> String {
         let lookback = Duration::from_micros(
             self.width.ticks().saturating_mul(self.ring as u64),
         );
@@ -612,20 +626,27 @@ impl WindowedRegistry {
         for (name, &id) in &self.names {
             let s = self.series_by_id(id);
             let fam = sanitize_metric_name(name);
+            let extra = label_for(name);
+            // rendered both alone (`{site="east"}`) and appended to the
+            // quantile label (`,site="east"`)
+            let (solo, tail) = match &extra {
+                Some((k, v)) => (format!("{{{k}=\"{v}\"}}"), format!(",{k}=\"{v}\"")),
+                None => (String::new(), String::new()),
+            };
             if s.is_histogram() {
                 let agg = s.range(now, lookback);
                 out.push_str(&format!("# TYPE {fam} summary\n"));
                 for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
                     out.push_str(&format!(
-                        "{fam}{{quantile=\"{label}\"}} {}\n",
+                        "{fam}{{quantile=\"{label}\"{tail}}} {}\n",
                         fmt_prom_value(agg.quantile(q))
                     ));
                 }
-                out.push_str(&format!("{fam}_sum {}\n", s.lifetime_sum()));
-                out.push_str(&format!("{fam}_count {}\n", s.lifetime_count()));
+                out.push_str(&format!("{fam}_sum{solo} {}\n", s.lifetime_sum()));
+                out.push_str(&format!("{fam}_count{solo} {}\n", s.lifetime_count()));
             } else {
                 out.push_str(&format!("# TYPE {fam} counter\n"));
-                out.push_str(&format!("{fam} {}\n", s.lifetime_sum()));
+                out.push_str(&format!("{fam}{solo} {}\n", s.lifetime_sum()));
             }
         }
         out
@@ -1091,6 +1112,33 @@ mod windowed_tests {
         assert!(text.contains("replica_r0_latency_us_count 100\n"));
         assert!(text.contains("# TYPE replica_r0_errors counter\n"));
         assert!(text.contains("replica_r0_errors 1\n"));
+    }
+
+    #[test]
+    fn labeled_exposition_tags_series_and_none_path_is_byte_identical() {
+        let mut r = reg();
+        let lat = r.histogram("replica.r0.latency_us");
+        let errs = r.counter("replica.r0.errors");
+        let other = r.counter("fleetwide.requests");
+        r.record(lat, SimTime::from_secs(1), 1000);
+        r.record(errs, SimTime::from_secs(1), 1);
+        r.record(other, SimTime::from_secs(1), 9);
+        let now = SimTime::from_secs(10);
+
+        let plain = r.prometheus_text(now);
+        let none = r.prometheus_text_labeled(now, |_| None);
+        assert_eq!(plain, none, "a None labeler changes nothing");
+
+        let labeled = r.prometheus_text_labeled(now, |name| {
+            name.starts_with("replica.r0.")
+                .then(|| ("site".to_owned(), "east".to_owned()))
+        });
+        validate_prometheus_text(&labeled).expect("labeled output parses strictly");
+        assert!(labeled.contains(r#"replica_r0_latency_us{quantile="0.5",site="east"}"#));
+        assert!(labeled.contains(r#"replica_r0_latency_us_sum{site="east"}"#));
+        assert!(labeled.contains(r#"replica_r0_latency_us_count{site="east"}"#));
+        assert!(labeled.contains(r#"replica_r0_errors{site="east"} 1"#));
+        assert!(labeled.contains("fleetwide_requests 9\n"), "unlabeled series untouched");
     }
 
     #[test]

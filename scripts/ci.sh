@@ -51,6 +51,19 @@ cargo run --release -q -p onserve-bench --bin grayfail > /dev/null
 cmp target/experiments/grayfail-run1.csv target/experiments/grayfail.csv
 cmp target/experiments/grayfail-run1.prom target/experiments/grayfail.prom
 
+echo "==> geo tier (golden + proptests)"
+cargo test -q -p onserve-bench --test golden_determinism geo_sweep_matches_golden
+cargo test -q -p onserve-fleet --test proptests geo
+cargo test -q -p onserve-fleet --test proptests fleet_conserves_requests_under_site_outages_and_link_faults
+
+echo "==> geo bench determinism (two same-seed runs, byte-identical CSV + exposition)"
+cargo run --release -q -p onserve-bench --bin geo > /dev/null
+cp target/experiments/geo.csv target/experiments/geo-run1.csv
+cp target/experiments/geo.prom target/experiments/geo-run1.prom
+cargo run --release -q -p onserve-bench --bin geo > /dev/null
+cmp target/experiments/geo-run1.csv target/experiments/geo.csv
+cmp target/experiments/geo-run1.prom target/experiments/geo.prom
+
 echo "==> millionuser tier (golden + determinism, CI scale)"
 cargo test -q -p onserve-bench --test golden_determinism millionuser_ci_matches_golden
 cargo run --release -q -p onserve-bench --bin millionuser -- --ci > /dev/null
