@@ -1,0 +1,357 @@
+//! The rollout experiment: the zero-downtime contract, measured.
+//!
+//! One three-replica fleet, one seed, one paced arrival schedule — and
+//! four ways to move it from v1 to v2:
+//!
+//! * **restart** — the naive baseline: kill every replica, boot v2.
+//!   Everything in flight faults and everything arriving during the
+//!   boot window is refused; `dropped > 0` is the row's whole point.
+//! * **rolling** — boot a v2 replica, wait until it serves, drain and
+//!   retire one v1, repeat. Nothing is dropped, nothing faults.
+//! * **canary-promote** — boot one v2 canary, shift half the affinity
+//!   pins and half of first-sight traffic onto it, judge its windowed
+//!   p99 against the v1 pack for four minutes, then promote into the
+//!   rolling path. Nothing is dropped and the fleet ends on v2.
+//! * **canary-rollback** — same schedule, but a seeded [`ChaosMonkey`]
+//!   `slow_at` lemon degrades the canary to 10× mid-judgment. The judge
+//!   fails it, the rollback drains the canary, restores every shifted
+//!   pin, and reverts the target version; the fleet ends on v1 with its
+//!   final-window p99 back at the healthy baseline.
+//!
+//! All four rows share [`SEED`] and the arrival schedule, so the
+//! strategy is the only variable. The golden test pins the CSV
+//! byte-for-byte and asserts the contract row by row.
+//!
+//! Shared by the `rollout` binary and the golden determinism test so
+//! both always describe the same experiment.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use fleet::{
+    AffinityConfig, CanaryConfig, ChaosMonkey, Fleet, FleetSpec, HealthConfig, HealthPlane,
+    Policy, Request, RolloutConfig, RolloutController, RolloutOutcome, RolloutStrategy,
+    StorageTopology,
+};
+use onserve::profile::ExecutionProfile;
+use simkit::fault::FaultPlan;
+use simkit::{Duration, Sim, SimTime, KB};
+
+use crate::fleetscale::fleet_image;
+
+/// Seed shared by all four rows — arrivals, boots, and pin placement
+/// must be identical so the strategy is the only variable.
+pub const SEED: u64 = 0x726f_6c6c; // "roll"
+
+/// Fault-plan seed for the rollback row's lemon, probed so the uniform
+/// `slow_at` draw among the four actives lands on the canary. The
+/// runtime assert (`rollbacks == 1`) keeps it honest: a slowed *peer*
+/// would make the canary look good and promote instead.
+pub const LEMON_SEED: u64 = 0;
+
+/// Replicas booted before load starts.
+pub const REPLICAS: usize = 3;
+
+/// Version every row rolls toward (the fleet starts at 1).
+pub const TO_VERSION: u32 = 2;
+
+/// Latency multiplier the rollback row's lemon applies to the canary.
+pub const SLOW_FACTOR: f64 = 10.0;
+
+/// Deterministic arrival spacing, fleet-wide — same pacing as the
+/// gray-failure experiment: comfortably under capacity at three
+/// replicas and ~15.5 s per answer.
+pub fn arrival_gap() -> Duration {
+    Duration::from_secs(6)
+}
+
+/// Measurement window after the fleet is booted and provisioned.
+pub fn horizon() -> Duration {
+    Duration::from_secs(1200)
+}
+
+/// Offset of the rollout kickoff from the start of load.
+pub fn roll_offset() -> Duration {
+    Duration::from_secs(60)
+}
+
+/// Offset of the rollback row's slow strike — the canary is active and
+/// under judgment by then (kickoff + ~75 s boot).
+pub fn lemon_offset() -> Duration {
+    Duration::from_secs(180)
+}
+
+/// Canary judgment knobs shared by both canary rows.
+pub fn canary_config() -> CanaryConfig {
+    CanaryConfig {
+        pin_fraction: 0.5,
+        first_sight_pct: 50,
+        judgment: Duration::from_secs(240),
+        p99_factor: 3.0,
+        min_samples: 2,
+    }
+}
+
+/// Windowing tuned to the appliance's ~15.5 s invoke latency, wide
+/// enough to hold a 10×-degraded canary's completions.
+pub fn health_config() -> HealthConfig {
+    HealthConfig {
+        window: Duration::from_secs(30),
+        ring: 16,
+        lookback: Duration::from_secs(240),
+        interval: Duration::from_secs(30),
+        latency_factor: 3.0,
+        min_samples: 2,
+        probation_strikes: 2,
+        eject_strikes: 6,
+        ..HealthConfig::default()
+    }
+}
+
+/// The four upgrade strategies under measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RolloutMode {
+    /// Kill everything, boot v2 — the dropped-work baseline.
+    Restart,
+    /// Boot-then-retire, one replica at a time.
+    Rolling,
+    /// Canary judged healthy, promoted into the rolling path.
+    CanaryPromote,
+    /// Canary degraded by the lemon, auto-rolled back.
+    CanaryRollback,
+}
+
+impl RolloutMode {
+    /// Row label used in the CSV.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RolloutMode::Restart => "restart",
+            RolloutMode::Rolling => "rolling",
+            RolloutMode::CanaryPromote => "canary-promote",
+            RolloutMode::CanaryRollback => "canary-rollback",
+        }
+    }
+}
+
+/// One measured row.
+pub struct RolloutPoint {
+    /// Strategy this row ran.
+    pub mode: RolloutMode,
+    /// Requests issued by the pacer.
+    pub issued: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests that never got a good answer (refused or faulted).
+    pub dropped: u64,
+    /// Requests answered with a SOAP fault.
+    pub failed: u64,
+    /// Old-version replicas the controller retired and replaced.
+    pub replaced: u64,
+    /// Rollbacks the controller executed.
+    pub rollbacks: u64,
+    /// How the rollout ended.
+    pub outcome: &'static str,
+    /// Final `version:count` census, `|`-joined.
+    pub versions: String,
+    /// Fleet-wide windowed p99 over the final lookback, seconds.
+    pub fleet_p99_s: f64,
+    /// Prometheus text exposition captured at the end of the run.
+    pub prom: String,
+}
+
+fn fleet_spec() -> FleetSpec {
+    let mut spec = FleetSpec::with_image(fleet_image());
+    spec.topology = StorageTopology::Replicated;
+    spec.initial_replicas = REPLICAS;
+    spec.dispatcher.policy = Policy::RoundRobin;
+    spec.dispatcher.max_in_flight = 1024;
+    // canary pin shifts ride the affinity plane
+    spec.dispatcher.affinity = Some(AffinityConfig::default());
+    spec.base.config.cache_grid_sessions = true;
+    spec
+}
+
+/// Fixed-interval pacer cycling three tenants, counting completions.
+fn pace(
+    sim: &mut Sim,
+    fleet: &Rc<Fleet>,
+    until: SimTime,
+    n: u64,
+    issued: Rc<Cell<u64>>,
+    ok: Rc<Cell<u64>>,
+    bad: Rc<Cell<u64>>,
+) {
+    if sim.now() > until {
+        return;
+    }
+    const TENANTS: [&str; 3] = ["alice", "bob", "carol"];
+    issued.set(issued.get() + 1);
+    let (c, f) = (Rc::clone(&ok), Rc::clone(&bad));
+    fleet.dispatcher().clone().submit(
+        sim,
+        Request::Invoke {
+            service: "app".into(),
+            args: Vec::new(),
+            principal: Some(TENANTS[(n % 3) as usize].into()),
+        },
+        Box::new(move |_, res| {
+            if res.is_ok() {
+                c.set(c.get() + 1);
+            } else {
+                f.set(f.get() + 1);
+            }
+        }),
+    );
+    let fl = Rc::clone(fleet);
+    sim.schedule(arrival_gap(), move |sim| {
+        pace(sim, &fl, until, n + 1, issued, ok, bad)
+    });
+}
+
+/// Run one row with an explicit lemon seed (only the rollback row arms
+/// the lemon). [`run_point`] is the pinned-seed entry everything else
+/// uses.
+pub fn run_point_seeded(mode: RolloutMode, lemon_seed: u64) -> RolloutPoint {
+    let mut sim = Sim::new(SEED);
+    let fleet = Fleet::new(&mut sim, fleet_spec());
+    sim.run(); // cold-start all appliances
+    fleet.publish(
+        &mut sim,
+        "app.exe",
+        64 * 1024,
+        ExecutionProfile::quick()
+            .lasting(Duration::from_millis(200))
+            .producing(16.0 * KB),
+        |_| {},
+    );
+    sim.run();
+    let plane = HealthPlane::new(health_config());
+    fleet.dispatcher().set_health_plane(Rc::clone(&plane));
+    let t0 = sim.now();
+    let until = t0 + horizon();
+    let monkey = (mode == RolloutMode::CanaryRollback).then(|| {
+        ChaosMonkey::unleash(
+            &mut sim,
+            &fleet,
+            &FaultPlan::new(lemon_seed).slow_at(lemon_offset(), SLOW_FACTOR),
+        )
+    });
+    let cfg = match mode {
+        RolloutMode::Restart => RolloutConfig::restart(TO_VERSION),
+        RolloutMode::Rolling => RolloutConfig {
+            min_healthy: 2,
+            ..RolloutConfig::rolling(TO_VERSION)
+        },
+        RolloutMode::CanaryPromote | RolloutMode::CanaryRollback => RolloutConfig {
+            strategy: RolloutStrategy::Canary(canary_config()),
+            min_healthy: 2,
+            ..RolloutConfig::rolling(TO_VERSION)
+        },
+    };
+    let ctl: Rc<RefCell<Option<Rc<RolloutController>>>> = Rc::new(RefCell::new(None));
+    let (f2, c2) = (Rc::clone(&fleet), Rc::clone(&ctl));
+    sim.schedule(roll_offset(), move |sim| {
+        *c2.borrow_mut() = Some(RolloutController::start(sim, &f2, cfg));
+    });
+    let issued = Rc::new(Cell::new(0u64));
+    let ok = Rc::new(Cell::new(0u64));
+    let bad = Rc::new(Cell::new(0u64));
+    pace(
+        &mut sim,
+        &fleet,
+        until,
+        0,
+        Rc::clone(&issued),
+        Rc::clone(&ok),
+        Rc::clone(&bad),
+    );
+    sim.run_until(until);
+    // the final-lookback p99 and the exposition, read before the drain
+    let fleet_p99_s = plane.fleet_p99(sim.now()).unwrap_or(-1.0);
+    let prom = plane.prometheus_text(sim.now());
+    sim.run(); // drain everything still in flight
+    if let Some(m) = &monkey {
+        assert_eq!(m.slowed(), 1, "the pinned lemon strike landed");
+    }
+    let ctl = ctl.borrow().clone().expect("rollout started");
+    let c = fleet.dispatcher().counters();
+    assert_eq!(c.accepted + c.shed, issued.get(), "door ledger");
+    assert_eq!(ok.get() + bad.get(), c.accepted + c.shed, "every request answered");
+    assert_eq!(fleet.dispatcher().in_flight(), 0, "drained");
+    let versions = fleet
+        .version_counts()
+        .into_iter()
+        .map(|(v, n)| format!("{v}:{n}"))
+        .collect::<Vec<_>>()
+        .join("|");
+    RolloutPoint {
+        mode,
+        issued: issued.get(),
+        completed: ok.get(),
+        dropped: issued.get() - ok.get(),
+        failed: c.faulted,
+        replaced: ctl.replaced(),
+        rollbacks: ctl.rollbacks(),
+        outcome: match ctl.outcome() {
+            None => "pending",
+            Some(RolloutOutcome::Completed) => "completed",
+            Some(RolloutOutcome::Promoted) => "promoted",
+            Some(RolloutOutcome::RolledBack) => "rolled-back",
+        },
+        versions,
+        fleet_p99_s,
+        prom,
+    }
+}
+
+/// Run one row under the pinned [`LEMON_SEED`], asserting the outcome
+/// the row exists to demonstrate.
+pub fn run_point(mode: RolloutMode) -> RolloutPoint {
+    let p = run_point_seeded(mode, LEMON_SEED);
+    let want = match mode {
+        RolloutMode::Restart | RolloutMode::Rolling => "completed",
+        RolloutMode::CanaryPromote => "promoted",
+        RolloutMode::CanaryRollback => "rolled-back",
+    };
+    assert_eq!(p.outcome, want, "{} rollout outcome", p.mode.label());
+    if mode == RolloutMode::CanaryRollback {
+        assert_eq!(p.rollbacks, 1, "exactly one rollback");
+    }
+    p
+}
+
+/// Run all four rows in parallel.
+pub fn sweep() -> Vec<RolloutPoint> {
+    crate::par_sweep(
+        &[
+            RolloutMode::Restart,
+            RolloutMode::Rolling,
+            RolloutMode::CanaryPromote,
+            RolloutMode::CanaryRollback,
+        ],
+        |_, &mode| run_point(mode),
+    )
+}
+
+/// Render the sweep as the CSV committed under `tests/golden/`.
+pub fn csv(points: &[RolloutPoint]) -> String {
+    let mut out = String::from(
+        "mode,issued,completed,dropped,failed,replaced,rollbacks,outcome,versions,fleet_p99_s\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{:.4}\n",
+            p.mode.label(),
+            p.issued,
+            p.completed,
+            p.dropped,
+            p.failed,
+            p.replaced,
+            p.rollbacks,
+            p.outcome,
+            p.versions,
+            p.fleet_p99_s,
+        ));
+    }
+    out
+}

@@ -475,3 +475,69 @@ fn grayfail_sweep_matches_golden() {
         "time-series CSV header drifted"
     );
 }
+
+/// The rollout experiment must be byte-stable per seed, and the
+/// zero-downtime contract must hold row by row, not just its bytes:
+/// the naive restart drops work, rolling and canary drop nothing, the
+/// promoted canary completes the version shift, and the lemon-struck
+/// canary rolls back exactly once with the fleet p99 recovered.
+#[test]
+fn rollout_sweep_matches_golden() {
+    use onserve_bench::rollout::{self, RolloutMode, TO_VERSION};
+    let points = rollout::sweep();
+    assert_eq!(
+        rollout::csv(&points),
+        golden("rollout.csv"),
+        "rollout CSV drifted"
+    );
+    let row = |m: RolloutMode| points.iter().find(|p| p.mode == m).expect("row");
+    let restart = row(RolloutMode::Restart);
+    let rolling = row(RolloutMode::Rolling);
+    let promote = row(RolloutMode::CanaryPromote);
+    let rollback = row(RolloutMode::CanaryRollback);
+    for p in &points {
+        assert_eq!(p.issued, restart.issued, "same seed must offer the same load");
+        assert_eq!(
+            p.completed + p.dropped,
+            p.issued,
+            "conservation: every request settles"
+        );
+    }
+    // the naive baseline loses real work: in-flight requests fault at
+    // the kill and arrivals during the boot window are refused
+    assert!(restart.dropped > 0, "restart must drop work");
+    assert!(restart.failed > 0, "restart must fault what was in flight");
+    // rolling drops nothing — retirement drains, boots precede retires
+    assert_eq!(rolling.dropped, 0, "rolling drops nothing");
+    assert_eq!(rolling.failed, 0, "rolling faults nothing");
+    assert_eq!(rolling.replaced, 3, "rolling replaces every v1 replica");
+    assert_eq!(rolling.versions, format!("{TO_VERSION}:3"), "rolling lands on v2");
+    // the healthy canary is promoted and the version shift completes
+    assert_eq!(promote.dropped, 0, "canary promotion drops nothing");
+    assert_eq!(promote.outcome, "promoted");
+    assert_eq!(promote.versions, format!("{TO_VERSION}:3"), "promotion lands on v2");
+    // the lemon-struck canary rolls back exactly once, the fleet stays
+    // on v1, and the final-window p99 is back at the rolling baseline
+    assert_eq!(rollback.rollbacks, 1, "exactly one rollback");
+    assert_eq!(rollback.outcome, "rolled-back");
+    assert_eq!(rollback.versions, "1:3", "rollback reverts the census to v1");
+    assert_eq!(rollback.dropped, 0, "the drained canary loses nothing");
+    assert!(
+        rollback.fleet_p99_s > 0.0 && rollback.fleet_p99_s <= 1.5 * rolling.fleet_p99_s,
+        "fleet p99 must recover after the rollback ({} s vs rolling {} s)",
+        rollback.fleet_p99_s,
+        rolling.fleet_p99_s
+    );
+    // the promoted fleet's exposition carries the new version label and
+    // satisfies the strict parser
+    let (families, samples) =
+        simkit::validate_prometheus_text(&promote.prom).expect("exposition snapshot is valid");
+    assert!(
+        families >= 8 && samples > families,
+        "expected a populated exposition, got {families} families / {samples} samples"
+    );
+    assert!(
+        promote.prom.contains(&format!(r#"version="v{TO_VERSION}""#)),
+        "per-replica series must carry the promoted version label"
+    );
+}

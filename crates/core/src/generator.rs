@@ -23,6 +23,20 @@ pub const BUILD_BASE_CPU_SECS: f64 = 1.2;
 /// Incremental build cost per declared parameter.
 pub const BUILD_PER_PARAM_CPU_SECS: f64 = 0.05;
 
+/// Version stamped into a built `.aar`-style unit. The paper's build
+/// script only ever produces "the" archive; a production fleet upgrades
+/// under load, so every generated artifact carries the version of the
+/// service template it was built from and replicas report which one
+/// they serve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServiceVersion(pub u32);
+
+impl std::fmt::Display for ServiceVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
 /// Output of a generation run, ready for container deployment.
 #[derive(Clone, Debug, PartialEq)]
 pub struct GeneratedService {
@@ -34,6 +48,8 @@ pub struct GeneratedService {
     pub archive_bytes: f64,
     /// Build CPU cost in seconds.
     pub build_cpu_secs: f64,
+    /// Version stamped into the archive at build time.
+    pub version: ServiceVersion,
 }
 
 /// Derive the service name from the uploaded file name: strip the
@@ -54,11 +70,22 @@ pub fn service_name_for(file_name: &str) -> String {
     name
 }
 
-/// Generate the service for a stored executable. `appliance_host` names
-/// the endpoint host.
+/// Generate the service for a stored executable at artifact version 1.
+/// `appliance_host` names the endpoint host.
 pub fn generate(
     record: &ExecutableRecord,
     appliance_host: &str,
+) -> Result<GeneratedService, String> {
+    generate_versioned(record, appliance_host, ServiceVersion(1))
+}
+
+/// Generate the service for a stored executable, stamping `version`
+/// into the built unit. Rollouts rebuild the same record at vN+1 on new
+/// replicas while vN replicas keep serving their original build.
+pub fn generate_versioned(
+    record: &ExecutableRecord,
+    appliance_host: &str,
+    version: ServiceVersion,
 ) -> Result<GeneratedService, String> {
     let service_name = service_name_for(&record.name);
     let inputs = to_wsdl_params(&record.params)?;
@@ -79,6 +106,7 @@ pub fn generate(
         wsdl,
         archive_bytes: ARCHIVE_BASE_BYTES + ARCHIVE_PER_PARAM_BYTES * n_params,
         build_cpu_secs: BUILD_BASE_CPU_SECS + BUILD_PER_PARAM_CPU_SECS * n_params,
+        version,
     })
 }
 
@@ -144,6 +172,19 @@ mod tests {
     fn bad_param_type_fails_generation() {
         let rec = record("x", vec![ParamSpec::new("p", "matrix")]);
         assert!(generate(&rec, "h").unwrap_err().contains("matrix"));
+    }
+
+    #[test]
+    fn versioned_builds_stamp_the_artifact() {
+        let rec = record("tool.exe", vec![]);
+        let v1 = generate(&rec, "h").unwrap();
+        assert_eq!(v1.version, ServiceVersion(1));
+        let v3 = generate_versioned(&rec, "h", ServiceVersion(3)).unwrap();
+        assert_eq!(v3.version, ServiceVersion(3));
+        assert_eq!(v3.version.to_string(), "v3");
+        // same record, same costs — only the stamp differs
+        assert_eq!(v3.archive_bytes, v1.archive_bytes);
+        assert_eq!(v3.wsdl, v1.wsdl);
     }
 
     #[test]

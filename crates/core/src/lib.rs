@@ -60,6 +60,7 @@ pub mod profile;
 pub mod watchdog;
 
 pub use deployment::{Deployment, DeploymentSpec};
+pub use generator::ServiceVersion;
 pub use onserve::{InvokeError, OnServe, OnServeConfig, PublishedService, UploadError};
 pub use params::{param_type_from_name, validate_args};
 pub use portal::{Portal, UploadRequest};

@@ -167,6 +167,7 @@ struct ServiceMeta {
     owner_pass: String,
     profile: ExecutionProfile,
     service_key: String,
+    version: generator::ServiceVersion,
 }
 
 /// The middleware.
@@ -188,6 +189,10 @@ pub struct OnServe {
     session_hits: Cell<u64>,
     /// Stale cached sessions evicted (and logged out of the agent).
     session_evictions: Cell<u64>,
+    /// Version stamped into subsequent generator builds. Rollout
+    /// controllers bump this on vN+1 appliances before provisioning;
+    /// already-deployed services keep the version they were built at.
+    artifact_version: Cell<u32>,
 }
 
 impl OnServe {
@@ -215,6 +220,7 @@ impl OnServe {
             auths: Cell::new(0),
             session_hits: Cell::new(0),
             session_evictions: Cell::new(0),
+            artifact_version: Cell::new(1),
         })
     }
 
@@ -262,6 +268,23 @@ impl OnServe {
             self.session_hits.get(),
             self.session_evictions.get(),
         )
+    }
+
+    /// Version stamped into the next generator build on this appliance.
+    pub fn artifact_version(&self) -> generator::ServiceVersion {
+        generator::ServiceVersion(self.artifact_version.get())
+    }
+
+    /// Set the version stamped into subsequent builds. Existing
+    /// deployments are untouched — they keep serving the build they
+    /// were provisioned with.
+    pub fn set_artifact_version(&self, version: u32) {
+        self.artifact_version.set(version);
+    }
+
+    /// Version of the build a published service currently serves.
+    pub fn service_version(&self, service_name: &str) -> Option<generator::ServiceVersion> {
+        self.services.borrow().get(service_name).map(|m| m.version)
     }
 
     /// Scenario A: store the uploaded executable, generate + deploy the
@@ -315,10 +338,15 @@ impl OnServe {
                     .record_by_id(id)
                     .expect("just inserted")
                     .clone();
-                let generated = match generator::generate(&record, this.host.name()) {
+                let generated = match generator::generate_versioned(
+                    &record,
+                    this.host.name(),
+                    generator::ServiceVersion(this.artifact_version.get()),
+                ) {
                     Ok(g) => g,
                     Err(m) => return done(sim, Err(UploadError::Generation(m))),
                 };
+                let built_version = generated.version;
                 // the ant build burns appliance CPU before deployment
                 let this2 = Rc::clone(&this);
                 let host = Rc::clone(&this.host);
@@ -374,6 +402,7 @@ impl OnServe {
                                         owner_pass,
                                         profile,
                                         service_key: service_key.clone(),
+                                        version: built_version,
                                     },
                                 );
                                 done(
@@ -461,10 +490,15 @@ impl OnServe {
                     .record_by_id(id)
                     .expect("just inserted")
                     .clone();
-                let generated = match generator::generate(&record, this.host.name()) {
+                let generated = match generator::generate_versioned(
+                    &record,
+                    this.host.name(),
+                    generator::ServiceVersion(this.artifact_version.get()),
+                ) {
                     Ok(g) => g,
                     Err(m) => return done(sim, Err(UploadError::Generation(m))),
                 };
+                let built_version = generated.version;
                 let this2 = Rc::clone(&this);
                 let host = Rc::clone(&this.host);
                 host.compute(sim, generated.build_cpu_secs, move |sim| {
@@ -490,6 +524,7 @@ impl OnServe {
                                 .get_mut(&service_name)
                                 .expect("service present for update");
                             meta.params = params;
+                            meta.version = built_version;
                             if let Some(p) = new_profile {
                                 meta.profile = p;
                             }

@@ -32,6 +32,11 @@ const SLOW_SALT: u64 = 0x736c_6f77; // "slow"
 /// never perturb the crash or slow sequences.
 const SITE_SALT: u64 = 0x7369_7465; // "site"
 
+/// Salt for the write-fault victim stream. Drawn only when the plan has
+/// `write_fail_p > 0`, so plans without storage faults — every existing
+/// golden — keep their exact victim sequences.
+const WRITE_SALT: u64 = 0x0077_7269_7465; // "write"
+
 /// Scheduled replica killer; create with [`ChaosMonkey::unleash`].
 pub struct ChaosMonkey {
     rng: RefCell<Rng>,
@@ -41,6 +46,7 @@ pub struct ChaosMonkey {
     skipped: Cell<u64>,
     slowed: Cell<u64>,
     site_outages: Cell<u64>,
+    write_faulted: RefCell<Option<String>>,
 }
 
 impl ChaosMonkey {
@@ -58,6 +64,7 @@ impl ChaosMonkey {
             skipped: Cell::new(0),
             slowed: Cell::new(0),
             site_outages: Cell::new(0),
+            write_faulted: RefCell::new(None),
         });
         for t in times {
             let fleet = Rc::clone(fleet);
@@ -97,7 +104,32 @@ impl ChaosMonkey {
                 fleet2.restore_site(sim, &site);
             });
         }
+        // Blobstore write faults land on ONE replica's database — a bad
+        // disk, not a bad fleet — chosen now among the active replicas
+        // (seeded, own salt so fault-free plans are unperturbed). Each
+        // failed write surfaces as a SOAP fault on the upload path and
+        // feeds the health plane's per-replica error series.
+        if plan.config.write_fail_p > 0.0 {
+            let names = fleet.active_replica_names();
+            if names.is_empty() {
+                monkey.skipped.set(monkey.skipped.get() + 1);
+            } else {
+                let mut write_rng = plan.derived_rng(WRITE_SALT);
+                let victim = names[write_rng.below(names.len() as u64) as usize].clone();
+                if fleet.inject_write_faults(&victim, Some(plan.injector())) {
+                    sim.counter_add("chaos.write_faulted", 1);
+                    *monkey.write_faulted.borrow_mut() = Some(victim);
+                } else {
+                    monkey.skipped.set(monkey.skipped.get() + 1);
+                }
+            }
+        }
         monkey
+    }
+
+    /// The replica whose blobstore got the plan's write faults, if any.
+    pub fn write_faulted(&self) -> Option<String> {
+        self.write_faulted.borrow().clone()
     }
 
     /// Crashes on the plan's schedule.
@@ -260,6 +292,41 @@ mod tests {
         let monkey = ChaosMonkey::unleash(&mut sim, &fleet, &plan);
         sim.run();
         assert_eq!(monkey.site_outages(), 0);
+        assert_eq!(monkey.skipped(), 1);
+    }
+
+    #[test]
+    fn write_faults_arm_exactly_one_replica_and_replay_per_seed() {
+        let run = |seed| {
+            let mut sim = Sim::new(44);
+            let fleet = fleet_of(&mut sim, 3);
+            sim.run();
+            let plan = FaultPlan::new(seed).write_fail(1.0);
+            let monkey = ChaosMonkey::unleash(&mut sim, &fleet, &plan);
+            sim.run();
+            let victim = monkey.write_faulted().expect("one replica armed");
+            assert!(
+                fleet.active_replica_names().contains(&victim),
+                "the armed replica is active (arming is not a kill)"
+            );
+            assert_eq!(monkey.landed(), 0);
+            assert_eq!(monkey.skipped(), 0);
+            victim
+        };
+        assert_eq!(run(9), run(9), "victim replays from the seed");
+    }
+
+    #[test]
+    fn write_fault_strikes_against_a_dark_fleet_are_skipped() {
+        let mut sim = Sim::new(45);
+        let fleet = fleet_of(&mut sim, 1);
+        sim.run();
+        let kill = fleet.active_replica_names()[0].clone();
+        assert!(fleet.crash_replica(&mut sim, &kill));
+        let plan = FaultPlan::new(6).write_fail(0.5);
+        let monkey = ChaosMonkey::unleash(&mut sim, &fleet, &plan);
+        sim.run();
+        assert_eq!(monkey.write_faulted(), None);
         assert_eq!(monkey.skipped(), 1);
     }
 

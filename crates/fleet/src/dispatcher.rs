@@ -358,6 +358,17 @@ fn rendezvous_score(key: &str, replica: &str) -> u64 {
 type DrainHook = Box<dyn Fn(&mut Sim, &str)>;
 type UploadHook = Box<dyn Fn(&mut Sim, &Request)>;
 
+/// Canary traffic share ([`Dispatcher::set_canary`]): while set, a
+/// deterministic counter sends `share_pct`% of first-sight routes to
+/// the named replica instead of the base-policy pick. No randomness —
+/// route `k` goes to the canary iff `k % 100 < share_pct`, so replays
+/// are byte-identical.
+struct CanaryShare {
+    target: String,
+    share_pct: u32,
+    cursor: Cell<u64>,
+}
+
 /// Of every `PROBE_EVERY` routes made while any slot is on probation, one
 /// may consider the probationers — so a recovering replica still sees
 /// enough traffic for the detector to clear it.
@@ -388,6 +399,9 @@ pub struct Dispatcher {
     geo: RefCell<Option<Rc<GeoPlane>>>,
     /// Counts routes made while probation is active, for the probe window.
     probe_cursor: Cell<u64>,
+    /// Optional canary share: a slice of first-sight traffic diverted to
+    /// one replica during a canary judgment window.
+    canary: RefCell<Option<CanaryShare>>,
 }
 
 impl Dispatcher {
@@ -407,6 +421,7 @@ impl Dispatcher {
             health: RefCell::new(None),
             geo: RefCell::new(None),
             probe_cursor: Cell::new(0),
+            canary: RefCell::new(None),
         })
     }
 
@@ -951,6 +966,119 @@ impl Dispatcher {
         counts
     }
 
+    /// Divert `share_pct`% of first-sight routes to `target` for a
+    /// canary judgment window. Deterministic (counter-based, no RNG);
+    /// the counter restarts at zero so same-seed replays shift the same
+    /// requests. Pinned principals are untouched — shift those
+    /// explicitly with [`Dispatcher::shift_pins`].
+    pub fn set_canary(&self, target: &str, share_pct: u32) {
+        assert!(share_pct <= 100, "canary share is a percentage");
+        *self.canary.borrow_mut() = Some(CanaryShare {
+            target: target.to_owned(),
+            share_pct,
+            cursor: Cell::new(0),
+        });
+    }
+
+    /// End the canary share: first-sight routing reverts to the base
+    /// policy.
+    pub fn clear_canary(&self) {
+        *self.canary.borrow_mut() = None;
+    }
+
+    /// The replica currently receiving the canary share, if any.
+    pub fn canary_target(&self) -> Option<String> {
+        self.canary.borrow().as_ref().map(|c| c.target.clone())
+    }
+
+    /// Shift the top `fraction` of live affinity pins onto `target`,
+    /// ranked by [`rendezvous_score`]`(key, target)` — the same hash
+    /// that reassigns pins after a loss, so the shifted set is a pure
+    /// function of (pinned keys, target) and each shifted principal
+    /// re-authenticates exactly once, on its first request to `target`.
+    /// Pins already on `target` are skipped. Returns the shifted
+    /// `(principal, previous replica)` pairs in rank order, the undo
+    /// log for [`Dispatcher::restore_pins`].
+    pub fn shift_pins(&self, target: &str, fraction: f64) -> Vec<(String, String)> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+        let mut table = self.affinity.borrow_mut();
+        let mut ranked: Vec<(u64, String, String)> = table
+            .pins
+            .iter()
+            .filter_map(|(k, p)| match p {
+                Pin::Live(r) if r != target => {
+                    Some((rendezvous_score(k, target), k.clone(), r.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let n = (ranked.len() as f64 * fraction).round() as usize;
+        ranked.truncate(n);
+        let mut shifted = Vec::with_capacity(ranked.len());
+        for (_, key, prev) in ranked {
+            if let Some(p) = table.pins.get_mut(&key) {
+                *p = Pin::Live(target.to_owned());
+            }
+            shifted.push((key, prev));
+        }
+        shifted
+    }
+
+    /// Undo a [`Dispatcher::shift_pins`]: every pin still on `target`
+    /// goes back to its previous replica (or is orphaned for rendezvous
+    /// reassignment when that replica has since left rotation). Pins no
+    /// longer on `target` — orphaned by a canary crash, evicted, or
+    /// re-pinned — are left alone. Returns how many pins were restored.
+    pub fn restore_pins(&self, target: &str, shifted: &[(String, String)]) -> usize {
+        let slots = self.slots.borrow();
+        let is_live =
+            |name: &str| slots.iter().any(|s| !s.draining && s.backend.name() == name);
+        let mut table = self.affinity.borrow_mut();
+        let mut restored = 0;
+        for (key, prev) in shifted {
+            let Some(p) = table.pins.get_mut(key) else {
+                continue;
+            };
+            if !matches!(p, Pin::Live(r) if r == target) {
+                continue;
+            }
+            *p = if is_live(prev) {
+                Pin::Live(prev.clone())
+            } else {
+                Pin::Orphaned(prev.clone())
+            };
+            restored += 1;
+        }
+        restored
+    }
+
+    /// The replica `key`'s live affinity pin targets, if any (orphaned
+    /// pins return `None`).
+    pub fn pin_target(&self, key: &str) -> Option<String> {
+        match self.affinity.borrow().pins.get(key) {
+            Some(Pin::Live(r)) => Some(r.clone()),
+            _ => None,
+        }
+    }
+
+    /// Every live affinity pin as sorted `(principal, replica)` pairs —
+    /// the rollout proptests' pin-validity witness.
+    pub fn live_pins(&self) -> Vec<(String, String)> {
+        let mut pins: Vec<(String, String)> = self
+            .affinity
+            .borrow()
+            .pins
+            .iter()
+            .filter_map(|(k, p)| match p {
+                Pin::Live(r) => Some((k.clone(), r.clone())),
+                Pin::Orphaned(_) => None,
+            })
+            .collect();
+        pins.sort();
+        pins
+    }
+
     /// Attempts currently outstanding on the named backend (0 if it is
     /// not in rotation).
     pub fn outstanding_on(&self, name: &str) -> usize {
@@ -1068,6 +1196,9 @@ impl Dispatcher {
             live = up;
         }
         let (Some(aff), Some(key)) = (self.cfg.affinity, key) else {
+            if let Some(i) = self.canary_first_sight(&slots, &live) {
+                return Some((i, None));
+            }
             return Some((self.pick_first_sight(sim, geo.as_deref(), &slots, &live), None));
         };
         let mut table = self.affinity.borrow_mut();
@@ -1119,14 +1250,34 @@ impl Dispatcher {
                 table.pin(key, slots[i].backend.name(), aff.capacity);
                 Some((i, Some("repin")))
             }
-            // first sight of the key: let the base policy spread it, then
-            // stick with the choice
+            // first sight of the key: the canary takes its share, then
+            // the base policy spreads the rest; either way the choice
+            // sticks
             None => {
-                let i = self.pick_first_sight(sim, geo.as_deref(), &slots, &live);
+                let i = self
+                    .canary_first_sight(&slots, &live)
+                    .unwrap_or_else(|| self.pick_first_sight(sim, geo.as_deref(), &slots, &live));
                 table.pin(key, slots[i].backend.name(), aff.capacity);
                 Some((i, Some("miss")))
             }
         }
+    }
+
+    /// The canary's claim on this first-sight route, if a share is set:
+    /// route `k` (counter, not clock) goes to the canary iff
+    /// `k % 100 < share_pct` and the canary is in the live set. A
+    /// crashed or draining canary simply stops claiming routes.
+    fn canary_first_sight(&self, slots: &[Slot], live: &[usize]) -> Option<usize> {
+        let canary = self.canary.borrow();
+        let c = canary.as_ref()?;
+        let k = c.cursor.get();
+        c.cursor.set(k.wrapping_add(1));
+        if k % 100 >= u64::from(c.share_pct) {
+            return None;
+        }
+        live.iter()
+            .copied()
+            .find(|&i| slots[i].backend.name() == c.target)
     }
 
     /// First-sight pick: nearest-site under a geo plane, plain base

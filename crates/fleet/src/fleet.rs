@@ -106,6 +106,10 @@ struct Replica {
     appliance: Rc<Appliance>,
     deployment: Option<Rc<Deployment>>,
     retired: bool,
+    /// Artifact version this replica builds and serves — frozen at boot
+    /// from [`Fleet::target_version`]; rollouts replace replicas rather
+    /// than mutate them.
+    version: u32,
     /// Shared with the [`ReplicaBackend`]; flipped by
     /// [`Fleet::crash_replica`] so late responses read as a dead peer.
     crashed: Rc<Cell<bool>>,
@@ -140,6 +144,14 @@ pub struct Fleet {
     /// sites and pay WAN costs; the dispatcher stays site-blind unless the
     /// plane is *also* attached there ([`Dispatcher::set_geo`]).
     geo: RefCell<Option<Rc<GeoPlane>>>,
+    /// Artifact version stamped into the *next* replica to boot. Bumped
+    /// by rollout controllers; existing replicas keep the version they
+    /// booted at.
+    target_version: Cell<u32>,
+    /// Whether per-replica `version` labels feed the health plane.
+    /// Off until the first [`Fleet::set_target_version`] call so
+    /// rollout-free runs keep a byte-identical Prometheus exposition.
+    version_labels: Cell<bool>,
     inner: RefCell<Inner>,
 }
 
@@ -169,6 +181,8 @@ impl Fleet {
             registry: Rc::new(RefCell::new(UddiRegistry::new())),
             shared_storage,
             geo: RefCell::new(None),
+            target_version: Cell::new(1),
+            version_labels: Cell::new(false),
             inner: RefCell::new(Inner {
                 next_id: 0,
                 replicas: Vec::new(),
@@ -340,8 +354,9 @@ impl Fleet {
     }
 
     /// Boot one more replica; it joins the rotation after image copy, VM
-    /// boot, service start and catalog provisioning.
-    pub fn scale_up(self: &Rc<Self>, sim: &mut Sim) {
+    /// boot, service start and catalog provisioning. Returns the new
+    /// replica's name (it builds at the current [`Fleet::target_version`]).
+    pub fn scale_up(self: &Rc<Self>, sim: &mut Sim) -> String {
         let (id, name) = {
             let mut inner = self.inner.borrow_mut();
             let id = inner.next_id;
@@ -363,14 +378,81 @@ impl Fleet {
             },
         );
         self.inner.borrow_mut().replicas.push(Replica {
-            name,
+            name: name.clone(),
             appliance,
             deployment: None,
             retired: false,
+            version: self.target_version.get(),
             crashed: Rc::new(Cell::new(false)),
             slow_factor: Rc::new(Cell::new(1.0)),
             boot_span,
         });
+        name
+    }
+
+    /// Version stamped into the next replica to boot.
+    pub fn target_version(&self) -> u32 {
+        self.target_version.get()
+    }
+
+    /// Set the version stamped into subsequently booted replicas.
+    /// Replicas already booted (or booting) keep their version — a
+    /// rollout upgrades by replacement, never in place. The first call
+    /// turns on `version="vN"` health-plane labels, retro-tagging every
+    /// active replica so the exposition shows both sides of the roll.
+    pub fn set_target_version(&self, version: u32) {
+        self.target_version.set(version);
+        self.version_labels.set(true);
+        if let Some(health) = self.dispatcher.health_plane() {
+            for r in self
+                .inner
+                .borrow()
+                .replicas
+                .iter()
+                .filter(|r| r.deployment.is_some() && !r.retired)
+            {
+                health.set_version(&r.name, &format!("v{}", r.version));
+            }
+        }
+    }
+
+    /// The artifact version an *active* replica serves (`None` when
+    /// `name` is retired, crashed, still booting, or unknown).
+    pub fn replica_version(&self, name: &str) -> Option<u32> {
+        self.inner
+            .borrow()
+            .replicas
+            .iter()
+            .find(|r| r.name == name && r.deployment.is_some() && !r.retired)
+            .map(|r| r.version)
+    }
+
+    /// Is `name` still booting or provisioning (ordered but not yet in
+    /// rotation)? `false` once active, retired, crashed, or unknown —
+    /// so a controller waiting on a boot can tell "not yet" from
+    /// "never coming".
+    pub fn replica_booting(&self, name: &str) -> bool {
+        self.inner
+            .borrow()
+            .replicas
+            .iter()
+            .any(|r| r.name == name && r.deployment.is_none() && !r.retired)
+    }
+
+    /// Active replicas per artifact version — the rollout controller's
+    /// progress gauge (a finished roll has exactly one entry).
+    pub fn version_counts(&self) -> BTreeMap<u32, usize> {
+        let mut counts = BTreeMap::new();
+        for r in self
+            .inner
+            .borrow()
+            .replicas
+            .iter()
+            .filter(|r| r.deployment.is_some() && !r.retired)
+        {
+            *counts.entry(r.version).or_insert(0) += 1;
+        }
+        counts
     }
 
     /// Gray-degrade an active replica: every response it produces from now
@@ -474,6 +556,56 @@ impl Fleet {
         };
         self.unadvertise(&name);
         self.dispatcher.remove_backend(sim, &name);
+        true
+    }
+
+    /// Take a *specific* active replica out of rotation with a full
+    /// drain, exactly like [`Fleet::scale_down`] but by name — the
+    /// rollout controller's retirement path: stop advertising, orphan
+    /// its affinity pins, let in-flight work finish, then destroy the
+    /// appliance. Refuses (returns `false`) when `name` is not an
+    /// active replica or when retiring it would leave no capacity.
+    pub fn retire_replica(self: &Rc<Self>, sim: &mut Sim, name: &str) -> bool {
+        if self.active_replicas() <= 1 {
+            return false;
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            let Some(replica) = inner
+                .replicas
+                .iter_mut()
+                .find(|r| r.name == name && r.deployment.is_some() && !r.retired)
+            else {
+                return false;
+            };
+            replica.retired = true;
+        }
+        self.unadvertise(name);
+        self.dispatcher.remove_backend(sim, name);
+        true
+    }
+
+    /// Arm (or disarm, with `None`) seeded blobstore write-fault
+    /// injection on one active replica's executable database: every DB
+    /// write there then flips a coin from the injector's stream and may
+    /// fail, surfacing as a SOAP fault on the upload path and feeding
+    /// the health plane's per-replica error series. Returns `false` if
+    /// `name` is not an active replica.
+    pub fn inject_write_faults(
+        &self,
+        name: &str,
+        injector: Option<Rc<simkit::fault::FaultInjector>>,
+    ) -> bool {
+        let inner = self.inner.borrow();
+        let Some(replica) = inner
+            .replicas
+            .iter()
+            .find(|r| r.name == name && r.deployment.is_some() && !r.retired)
+        else {
+            return false;
+        };
+        let deployment = replica.deployment.as_ref().expect("active replica");
+        deployment.onserve.db().inject_faults(injector);
         true
     }
 
@@ -650,6 +782,17 @@ impl Fleet {
             rspec.config.write_strategy,
         );
         let d = Rc::new(Deployment::build_with_host_and_db(sim, &rspec, host, db));
+        // stamp the replica's frozen version before catalog replay so
+        // every service it provisions is built at that version
+        let version = self
+            .inner
+            .borrow()
+            .replicas
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.version)
+            .unwrap_or(1);
+        d.onserve.set_artifact_version(version);
         self.provision_next(sim, id, d, 0);
     }
 
@@ -686,7 +829,7 @@ impl Fleet {
     /// Put a provisioned replica into the rotation and advertise it.
     fn activate(self: Rc<Self>, sim: &mut Sim, id: usize, d: Rc<Deployment>) {
         let expected = format!("{}{}", self.base.appliance_name, id);
-        let (name, services, boot_span, crashed, slow_factor) = {
+        let (name, services, boot_span, crashed, slow_factor, version) = {
             let mut inner = self.inner.borrow_mut();
             inner.booting -= 1;
             inner.booted += 1;
@@ -707,12 +850,18 @@ impl Fleet {
                 replica.boot_span,
                 Rc::clone(&replica.crashed),
                 Rc::clone(&replica.slow_factor),
+                replica.version,
             )
         };
         sim.counter_add("fleet.booted", 1);
         sim.span_end(boot_span);
         for service in services {
             self.advertise(&service, &name);
+        }
+        if self.version_labels.get() {
+            if let Some(health) = self.dispatcher.health_plane() {
+                health.set_version(&name, &format!("v{version}"));
+            }
         }
         let geo = self.geo.borrow().clone().map(|g| {
             // idempotent for replicas placed at attach time; a replacement
@@ -726,6 +875,7 @@ impl Fleet {
         self.dispatcher.add_backend(Rc::new(ReplicaBackend {
             name,
             deployment: d,
+            version,
             crashed,
             slow_factor,
             geo,
@@ -778,10 +928,31 @@ fn access_point(replica: &str, service: &str) -> String {
     format!("http://{replica}:8080/axis2/services/{service}")
 }
 
+/// Bits of a fleet-served answer digest that carry the payload digest;
+/// the top byte carries the serving replica's artifact version.
+const ANSWER_DIGEST_MASK: u64 = 0x00ff_ffff_ffff_ffff;
+
+/// The artifact version a fleet-served invoke answer was tagged with by
+/// its [`ReplicaBackend`] (`None` for non-binary answers or answers
+/// that never passed through a fleet replica). The core digest is an
+/// invocation counter nowhere near 2^56, so the top byte is free.
+pub fn answer_version(value: &wsstack::SoapValue) -> Option<u32> {
+    match value {
+        wsstack::SoapValue::Binary { digest, .. } => {
+            let v = (digest >> 56) as u32;
+            (v != 0).then_some(v)
+        }
+        _ => None,
+    }
+}
+
 /// [`Backend`] adapter over one replica's full onServe deployment.
 struct ReplicaBackend {
     name: String,
     deployment: Rc<Deployment>,
+    /// Artifact version stamped into the top byte of every binary
+    /// answer digest (see [`answer_version`]).
+    version: u32,
     crashed: Rc<Cell<bool>>,
     slow_factor: Rc<Cell<f64>>,
     /// Set when the owning fleet carries a geo plane: which site this
@@ -878,6 +1049,20 @@ impl Backend for ReplicaBackend {
             Request::Invoke { service, args, .. } => {
                 let refs: Vec<(&str, wsstack::SoapValue)> =
                     args.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+                let version = self.version;
+                let done: Responder = Box::new(move |sim: &mut Sim, res| {
+                    let res = res.map(|v| match v {
+                        wsstack::SoapValue::Binary { bytes, digest } => {
+                            wsstack::SoapValue::Binary {
+                                bytes,
+                                digest: (digest & ANSWER_DIGEST_MASK)
+                                    | (u64::from(version) & 0xff) << 56,
+                            }
+                        }
+                        other => other,
+                    });
+                    done(sim, res)
+                });
                 self.deployment.invoke(sim, &service, &refs, done);
             }
             Request::Upload {

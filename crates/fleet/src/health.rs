@@ -103,6 +103,11 @@ pub struct HealthPlane {
     /// empty (the default) leaves the exposition byte-identical to the
     /// pre-geo format.
     sites: RefCell<BTreeMap<String, String>>,
+    /// Replica → served artifact version, for `version="vN"` labels on
+    /// per-replica series. Fed by the fleet at activation; empty (the
+    /// default) leaves the exposition byte-identical to the unversioned
+    /// format.
+    versions: RefCell<BTreeMap<String, String>>,
 }
 
 impl HealthPlane {
@@ -116,6 +121,7 @@ impl HealthPlane {
             reg: RefCell::new(WindowedRegistry::new(cfg.window, cfg.ring)),
             tenants: Cell::new(0),
             sites: RefCell::new(BTreeMap::new()),
+            versions: RefCell::new(BTreeMap::new()),
             cfg,
         })
     }
@@ -133,6 +139,21 @@ impl HealthPlane {
     /// The geo site `replica` was tagged with, if any.
     pub fn site_of(&self, replica: &str) -> Option<String> {
         self.sites.borrow().get(replica).cloned()
+    }
+
+    /// Tag `replica`'s per-replica series with the artifact version it
+    /// serves: every `fleet_replica_<name>_*` sample gains a
+    /// `version="vN"` label. Idempotent; re-tagged when a rollout boots
+    /// a replacement at a newer version.
+    pub fn set_version(&self, replica: &str, version: &str) {
+        self.versions
+            .borrow_mut()
+            .insert(replica.to_owned(), version.to_owned());
+    }
+
+    /// The artifact version `replica` was tagged with, if any.
+    pub fn version_of(&self, replica: &str) -> Option<String> {
+        self.versions.borrow().get(replica).cloned()
     }
 
     /// The active thresholds.
@@ -224,15 +245,27 @@ impl HealthPlane {
 
     /// Prometheus text exposition of every series at `now`. Per-replica
     /// series carry a `site` label when the replica was tagged with
-    /// [`HealthPlane::set_site`]; with no tags the output is
+    /// [`HealthPlane::set_site`] and a `version` label when tagged with
+    /// [`HealthPlane::set_version`]; with no tags the output is
     /// byte-identical to the unlabeled format.
     pub fn prometheus_text(&self, now: SimTime) -> String {
         let sites = self.sites.borrow();
-        self.reg.borrow().prometheus_text_labeled(now, |name| {
-            let rest = name.strip_prefix("fleet.replica.")?;
-            let (replica, _) = rest.split_once('.')?;
-            let site = sites.get(replica)?;
-            Some(("site".to_owned(), site.clone()))
+        let versions = self.versions.borrow();
+        self.reg.borrow().prometheus_text_multi_labeled(now, |name| {
+            let Some(rest) = name.strip_prefix("fleet.replica.") else {
+                return Vec::new();
+            };
+            let Some((replica, _)) = rest.split_once('.') else {
+                return Vec::new();
+            };
+            let mut labels = Vec::new();
+            if let Some(site) = sites.get(replica) {
+                labels.push(("site".to_owned(), site.clone()));
+            }
+            if let Some(version) = versions.get(replica) {
+                labels.push(("version".to_owned(), version.clone()));
+            }
+            labels
         })
     }
 
@@ -576,5 +609,42 @@ mod tests {
         // replicas with no placement and fleet-wide series stay label-free
         assert!(text.contains(r#"fleet_replica_replica1_latency_us{quantile="0.5"}"#));
         assert!(!text.contains(r#"fleet_attempt_latency_us{quantile="0.5",site="#));
+    }
+
+    #[test]
+    fn version_labels_compose_with_site_labels() {
+        let plane = HealthPlane::new(HealthConfig::default());
+        let t = SimTime::from_secs(3);
+        plane.record_attempt(t, "replica0", Duration::from_millis(7), false);
+        plane.record_attempt(t, "replica1", Duration::from_millis(5), false);
+        plane.record_submit(t, 2, 3, Some("alice"));
+
+        // version alone
+        plane.set_version("replica1", "v2");
+        assert_eq!(plane.version_of("replica1").as_deref(), Some("v2"));
+        let text = plane.prometheus_text(t);
+        simkit::validate_prometheus_text(&text).expect("version-labeled snapshot parses");
+        assert!(
+            text.contains(r#"fleet_replica_replica1_latency_us{quantile="0.5",version="v2"}"#),
+            "quantile series carry the version label:\n{text}"
+        );
+
+        // site + version together, in site-then-version order
+        plane.set_site("replica0", "east");
+        plane.set_version("replica0", "v1");
+        let text = plane.prometheus_text(t);
+        simkit::validate_prometheus_text(&text).expect("two-label snapshot parses");
+        assert!(
+            text.contains(
+                r#"fleet_replica_replica0_latency_us{quantile="0.5",site="east",version="v1"}"#
+            ),
+            "both labels render on one series:\n{text}"
+        );
+        assert!(
+            text.contains(r#"fleet_replica_replica0_latency_us_sum{site="east",version="v1"}"#),
+            "summary _sum carries both labels:\n{text}"
+        );
+        // fleet-wide series never pick up per-replica labels
+        assert!(!text.contains(r#"fleet_attempt_latency_us{quantile="0.5",version="#));
     }
 }

@@ -62,6 +62,7 @@ pub mod dispatcher;
 pub mod fleet;
 pub mod geo;
 pub mod health;
+pub mod rollout;
 pub mod workload;
 
 pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleAction, ScaleDecision};
@@ -70,10 +71,13 @@ pub use dispatcher::{
     AffinityConfig, Backend, DispatchCounters, Dispatcher, DispatcherConfig, Policy, Request,
     Responder, RetryConfig,
 };
-pub use fleet::{Fleet, FleetSpec, StorageTopology};
+pub use fleet::{answer_version, Fleet, FleetSpec, StorageTopology};
 pub use geo::{GeoCounters, GeoPlane, SiteMap, WanLink};
 pub use health::{
     DetectorAction, DetectorEvent, GrayFailureDetector, HealthConfig, HealthPlane, ReplicaHealth,
+};
+pub use rollout::{
+    CanaryConfig, RetireEvent, RolloutConfig, RolloutController, RolloutOutcome, RolloutStrategy,
 };
 pub use workload::{
     start_closed_loop, start_open_loop, ArrivalProcess, Arrivals, Mix, ServiceTarget, SubmitFn,

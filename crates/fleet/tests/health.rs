@@ -186,6 +186,91 @@ fn cleared_probation_restores_a_recovered_replica() {
     assert_eq!(fleet.dispatcher().probation_count(), 0);
 }
 
+/// Blobstore write-fault injection on one replica must surface as SOAP
+/// faults on the upload path, feed the health plane's per-replica error
+/// series, and drive the peer-relative detector to put the replica on
+/// probation — an error outlier, not a latency one.
+#[test]
+fn write_faults_surface_as_soap_faults_and_draw_probation() {
+    use fleet::ChaosMonkey;
+    use simkit::fault::FaultPlan;
+
+    let mut sim = Sim::new(33);
+    let fleet = health_fleet(&mut sim, 3);
+    boot_and_publish(&mut sim, &fleet);
+    let cfg = test_cfg(999); // probation is the claim; never escalate
+    let plane = HealthPlane::new(cfg);
+    fleet.dispatcher().set_health_plane(Rc::clone(&plane));
+    let t0 = sim.now();
+    let until = t0 + Duration::from_secs(600);
+    let detector = GrayFailureDetector::install(&mut sim, &fleet, &plane, until);
+    // every DB write on the seeded victim fails from here on
+    let monkey = ChaosMonkey::unleash(&mut sim, &fleet, &FaultPlan::new(21).write_fail(1.0));
+    let victim = monkey.write_faulted().expect("one replica armed");
+    // steady invokes keep latency samples flowing on every replica …
+    let ok = Rc::new(Cell::new(0u64));
+    pump(&mut sim, &fleet, Duration::from_secs(6), until, Rc::clone(&ok));
+    // … while periodic uploads hit the broken write path
+    let upload_faults = Rc::new(Cell::new(0u64));
+    fn upload_every(
+        sim: &mut Sim,
+        fleet: &Rc<Fleet>,
+        until: SimTime,
+        n: u64,
+        faults: Rc<Cell<u64>>,
+    ) {
+        if sim.now() > until {
+            return;
+        }
+        let f2 = Rc::clone(&faults);
+        fleet.dispatcher().clone().submit(
+            sim,
+            fleet::Request::Upload {
+                file_name: format!("w{n}.exe"),
+                len: 16 * 1024,
+                profile: onserve::profile::ExecutionProfile::quick(),
+            },
+            Box::new(move |_, res| {
+                if res.is_err() {
+                    f2.set(f2.get() + 1);
+                }
+            }),
+        );
+        let fl = Rc::clone(fleet);
+        sim.schedule(Duration::from_secs(30), move |sim| {
+            upload_every(sim, &fl, until, n + 1, faults)
+        });
+    }
+    upload_every(&mut sim, &fleet, until, 0, Rc::clone(&upload_faults));
+    sim.run();
+
+    // the broken store surfaced at the front door as SOAP faults
+    assert!(
+        upload_faults.get() >= 3,
+        "uploads through the armed replica must fault, got {}",
+        upload_faults.get()
+    );
+    // the error series carries the evidence
+    let h = plane
+        .replica_health(until, &victim)
+        .expect("victim has windowed stats");
+    assert!(
+        h.error_rate > 0.0,
+        "victim error series stayed clean: {h:?}"
+    );
+    // and the detector acted on it — probation for the victim, nobody else
+    let events = detector.events();
+    assert!(
+        events.iter().all(|e| e.replica == victim),
+        "only the write-faulted replica may be flagged: {events:?}"
+    );
+    assert!(
+        events.iter().any(|e| e.action == DetectorAction::Probation),
+        "victim never went on probation: {events:?}"
+    );
+    assert!(ok.get() > 40, "invoke traffic kept flowing, got {}", ok.get());
+}
+
 #[test]
 fn health_plane_attachment_is_result_neutral() {
     let run = |attach: bool| {

@@ -619,6 +619,20 @@ impl WindowedRegistry {
         now: SimTime,
         label_for: impl Fn(&str) -> Option<(String, String)>,
     ) -> String {
+        self.prometheus_text_multi_labeled(now, |name| label_for(name).into_iter().collect())
+    }
+
+    /// [`WindowedRegistry::prometheus_text_labeled`] generalized to any
+    /// number of extra labels per series — how the fleet's health plane
+    /// tags per-replica series with both a geo `site` and the artifact
+    /// `version` the replica serves. Labels render in the order returned.
+    /// A callback that always returns an empty `Vec` produces
+    /// byte-identical output to the unlabeled snapshot.
+    pub fn prometheus_text_multi_labeled(
+        &self,
+        now: SimTime,
+        label_for: impl Fn(&str) -> Vec<(String, String)>,
+    ) -> String {
         let lookback = Duration::from_micros(
             self.width.ticks().saturating_mul(self.ring as u64),
         );
@@ -627,11 +641,17 @@ impl WindowedRegistry {
             let s = self.series_by_id(id);
             let fam = sanitize_metric_name(name);
             let extra = label_for(name);
-            // rendered both alone (`{site="east"}`) and appended to the
-            // quantile label (`,site="east"`)
-            let (solo, tail) = match &extra {
-                Some((k, v)) => (format!("{{{k}=\"{v}\"}}"), format!(",{k}=\"{v}\"")),
-                None => (String::new(), String::new()),
+            // rendered both alone (`{site="east",version="v2"}`) and
+            // appended to the quantile label (`,site="east",version="v2"`)
+            let (solo, tail) = if extra.is_empty() {
+                (String::new(), String::new())
+            } else {
+                let joined = extra
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{v}\""))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                (format!("{{{joined}}}"), format!(",{joined}"))
             };
             if s.is_histogram() {
                 let agg = s.range(now, lookback);

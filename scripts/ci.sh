@@ -16,8 +16,14 @@ cargo run --release -q -p onserve-bench --bin perfbaseline -- --check
 echo "==> cargo build --examples"
 cargo build --workspace --examples
 
-echo "==> cargo test -q"
-cargo test -q --workspace
+echo "==> cargo test -q (with test-count floor)"
+cargo test -q --workspace 2>&1 | tee target/test-output.log
+total_passed=$(grep -Eo '[0-9]+ passed' target/test-output.log | awk '{s+=$1} END {print s}')
+echo "    total tests passed: ${total_passed}"
+if [ "${total_passed}" -lt 550 ]; then
+  echo "test-count floor: expected >= 550 passing tests, got ${total_passed}" >&2
+  exit 1
+fi
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -70,5 +76,18 @@ cargo run --release -q -p onserve-bench --bin millionuser -- --ci > /dev/null
 cp target/experiments/millionuser.csv target/experiments/millionuser-run1.csv
 cargo run --release -q -p onserve-bench --bin millionuser -- --ci > /dev/null
 cmp target/experiments/millionuser-run1.csv target/experiments/millionuser.csv
+
+echo "==> rollout tier (golden + proptests + chaos-crossed scenarios)"
+cargo test -q -p onserve-bench --test golden_determinism rollout_sweep_matches_golden
+cargo test -q -p onserve-fleet --test rollout
+cargo test -q -p onserve-fleet --test proptests rollouts_hold_the_floor_keep_pins_live_and_replay
+
+echo "==> rollout bench determinism (two same-seed runs, byte-identical CSV + exposition)"
+cargo run --release -q -p onserve-bench --bin rollout > /dev/null
+cp target/experiments/rollout.csv target/experiments/rollout-run1.csv
+cp target/experiments/rollout.prom target/experiments/rollout-run1.prom
+cargo run --release -q -p onserve-bench --bin rollout > /dev/null
+cmp target/experiments/rollout-run1.csv target/experiments/rollout.csv
+cmp target/experiments/rollout-run1.prom target/experiments/rollout.prom
 
 echo "CI OK"
