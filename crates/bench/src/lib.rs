@@ -15,6 +15,7 @@ pub mod fleetscale;
 pub mod geo;
 pub mod grayfail;
 pub mod millionuser;
+pub mod noisyneighbor;
 pub mod rollout;
 
 use std::cell::{Cell, RefCell};

@@ -541,3 +541,87 @@ fn rollout_sweep_matches_golden() {
         "per-replica series must carry the promoted version label"
     );
 }
+
+/// The noisy-neighbor experiment must be byte-stable per seed, and the
+/// fairness contract must hold row by row: with QoS off one flooding
+/// tenant collapses the behaved tenants' p99 (at least 5x the no-flood
+/// baseline); with QoS on the behaved tenants hold within 1.2x of the
+/// baseline while the flooder's own p99 degrades and its backlog queues
+/// and sheds at the door. Tenant labels appear in the exposition only
+/// when the QoS plane is on.
+#[test]
+fn noisyneighbor_sweep_matches_golden() {
+    use onserve_bench::noisyneighbor::{self, Mode};
+    let points = noisyneighbor::sweep();
+    assert_eq!(
+        noisyneighbor::csv(&points),
+        golden("noisyneighbor.csv"),
+        "noisyneighbor CSV drifted"
+    );
+    let row = |m: Mode| points.iter().find(|p| p.mode == m).expect("row");
+    let (base, off, on) = (row(Mode::Base), row(Mode::QosOff), row(Mode::QosOn));
+    for p in &points {
+        assert_eq!(
+            p.behaved_issued, base.behaved_issued,
+            "behaved stream is forked first: identical across rows"
+        );
+        assert_eq!(
+            p.behaved_ok + p.behaved_shed,
+            p.behaved_issued,
+            "conservation: every behaved request settles"
+        );
+        assert_eq!(
+            p.flood_ok + p.flood_shed,
+            p.flood_issued,
+            "conservation: every flood request settles"
+        );
+    }
+    assert_eq!(base.flood_issued, 0, "no flood in the baseline row");
+    assert_eq!(
+        off.flood_issued, on.flood_issued,
+        "same seed must offer the same flood"
+    );
+    // QoS off: the flooder fills the global window and the behaved
+    // tenants' p99 collapses
+    assert!(
+        off.behaved_p99_s >= 5.0 * base.behaved_p99_s,
+        "without QoS the flood must collapse behaved p99 ({} s vs baseline {} s)",
+        off.behaved_p99_s,
+        base.behaved_p99_s
+    );
+    assert_eq!(off.door_queued + off.door_shed, 0, "no QoS stage when off");
+    // QoS on: every behaved tenant holds near the baseline — the worst
+    // single tenant, not just the aggregate
+    assert!(
+        on.worst_p99_s <= 1.2 * base.behaved_p99_s,
+        "with QoS the worst behaved tenant must stay within 1.2x baseline ({} s vs {} s)",
+        on.worst_p99_s,
+        base.behaved_p99_s
+    );
+    assert_eq!(on.behaved_shed, 0, "QoS must not shed behaved work");
+    // ... while the flooder pays: degraded latency, door queueing, sheds
+    assert!(
+        on.flood_p99_s >= 5.0 * on.behaved_p99_s,
+        "the flooder's p99 must degrade under QoS ({} s vs behaved {} s)",
+        on.flood_p99_s,
+        on.behaved_p99_s
+    );
+    assert!(on.door_queued > 0, "the flooder's backlog must transit the door queue");
+    assert!(on.flood_shed > 0, "the flooder's overflow must shed");
+    // the QoS-on exposition carries per-tenant series and satisfies the
+    // strict parser; the QoS-off exposition carries none
+    let (families, samples) =
+        simkit::validate_prometheus_text(&on.prom).expect("exposition snapshot is valid");
+    assert!(
+        families >= 8 && samples > families,
+        "expected a populated exposition, got {families} families / {samples} samples"
+    );
+    assert!(
+        on.prom.contains(r#"tenant=""#),
+        "QoS-on exposition must carry tenant labels"
+    );
+    assert!(
+        !off.prom.contains(r#"tenant=""#),
+        "QoS-off exposition must stay tenant-label free"
+    );
+}

@@ -181,6 +181,310 @@ impl Default for AffinityConfig {
     }
 }
 
+/// Priority tier for per-tenant QoS. The tier sets the tenant's weight in
+/// both the quota split and the deficit-round-robin drain of the door
+/// queues — gold tenants get four grants for every batch grant when both
+/// are backlogged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QosTier {
+    /// Interactive / paying traffic: weight 4.
+    Gold,
+    /// The default tier: weight 2.
+    Standard,
+    /// Bulk / best-effort traffic: weight 1.
+    Batch,
+}
+
+impl QosTier {
+    /// All tiers, for sweeps and property tests.
+    pub const ALL: [QosTier; 3] = [QosTier::Gold, QosTier::Standard, QosTier::Batch];
+
+    /// DRR quantum and quota share.
+    pub fn weight(self) -> u64 {
+        match self {
+            QosTier::Gold => 4,
+            QosTier::Standard => 2,
+            QosTier::Batch => 1,
+        }
+    }
+
+    /// Short label for tables and span attributes.
+    pub fn label(self) -> &'static str {
+        match self {
+            QosTier::Gold => "gold",
+            QosTier::Standard => "standard",
+            QosTier::Batch => "batch",
+        }
+    }
+}
+
+/// Per-tenant QoS at the front door ([`Dispatcher::set_qos`]).
+///
+/// With QoS on, every invocation carrying a principal is admitted against
+/// its tenant's *quota* — a soft share of [`DispatcherConfig::max_in_flight`]
+/// proportional to the tenant's tier weight over the total weight of all
+/// known tenants (`max(1, max_in_flight · w/W)`). A tenant at quota does
+/// not shed: its requests wait in a per-tenant FIFO (bounded by
+/// [`QosConfig::queue_depth`]; overflow sheds with per-tenant accounting)
+/// and are granted capacity by deficit round-robin as requests finish —
+/// weighted by tier, deterministic on the virtual clock, no randomness.
+///
+/// *Borrowing*: when capacity is idle — no other tenant is waiting below
+/// its own quota — a tenant may run up to [`QosConfig::borrow`] requests
+/// above quota. Lent slots are never taken from a waiting under-quota
+/// tenant: the grant loop always prefers under-quota queues.
+///
+/// Anonymous invocations and uploads bypass the per-tenant stage and are
+/// admitted against the global `max_in_flight` gate alone, exactly as with
+/// QoS off.
+#[derive(Clone, Debug)]
+pub struct QosConfig {
+    /// Tier for tenants not named in `tiers`.
+    pub default_tier: QosTier,
+    /// Explicit tenant → tier assignments. Tenants listed here are
+    /// registered (and weigh into the quota split) from the start;
+    /// unlisted tenants are registered at `default_tier` on first sight.
+    pub tiers: BTreeMap<String, QosTier>,
+    /// Per-tenant door-queue bound; a request arriving with its tenant's
+    /// queue full is shed.
+    pub queue_depth: usize,
+    /// Requests a tenant may run *above* quota while no under-quota
+    /// tenant is waiting (idle-capacity borrowing). 0 makes quotas hard.
+    pub borrow: usize,
+}
+
+impl Default for QosConfig {
+    fn default() -> Self {
+        QosConfig {
+            default_tier: QosTier::Standard,
+            tiers: BTreeMap::new(),
+            queue_depth: 64,
+            borrow: 1,
+        }
+    }
+}
+
+/// One tenant's QoS ledger and live state, from [`Dispatcher::qos_tenants`].
+/// Conservation: `issued == accepted + shed + queued` at every instant, and
+/// `queued == 0` once the simulation drains.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantQos {
+    /// The tenant's priority tier.
+    pub tier: QosTier,
+    /// Current quota: `max(1, max_in_flight · weight/total_weight)`.
+    pub quota: usize,
+    /// Requests admitted and not yet answered.
+    pub in_flight: usize,
+    /// Requests waiting in the door queue right now.
+    pub queued: usize,
+    /// Front-door submissions (admitted + queued + shed).
+    pub issued: u64,
+    /// Requests admitted past the door.
+    pub accepted: u64,
+    /// Requests refused (queue full, or flushed when every replica left).
+    pub shed: u64,
+    /// Cumulative enqueues (a queued request later counts accepted or
+    /// shed as well — `enqueued` records that it waited).
+    pub enqueued: u64,
+}
+
+/// A request parked at the door, waiting for a DRR grant.
+struct QueuedReq {
+    req: Request,
+    done: Responder,
+    span: SpanId,
+    submitted_at: SimTime,
+}
+
+/// Per-tenant QoS state.
+struct QosTenantState {
+    tier: QosTier,
+    in_flight: usize,
+    queue: VecDeque<QueuedReq>,
+    /// DRR deficit: grants available before the tenant's next top-up.
+    deficit: u64,
+    issued: u64,
+    accepted: u64,
+    shed: u64,
+    enqueued: u64,
+}
+
+impl QosTenantState {
+    fn new(tier: QosTier) -> QosTenantState {
+        QosTenantState {
+            tier,
+            in_flight: 0,
+            queue: VecDeque::new(),
+            deficit: 0,
+            issued: 0,
+            accepted: 0,
+            shed: 0,
+            enqueued: 0,
+        }
+    }
+}
+
+/// The weighted-fair admission stage: per-tenant FIFOs drained by deficit
+/// round-robin. Everything is keyed on event order and the virtual clock —
+/// no randomness — so same-seed runs replay byte-identically.
+struct QosState {
+    cfg: QosConfig,
+    max_in_flight: usize,
+    tenants: BTreeMap<String, QosTenantState>,
+    /// Sum of tier weights over all registered tenants (the quota
+    /// denominator). Grows monotonically as tenants are first seen.
+    total_weight: u64,
+    /// Tenants with queued work, in first-enqueue order — the DRR ring.
+    ring: VecDeque<String>,
+}
+
+impl QosState {
+    fn new(cfg: QosConfig, max_in_flight: usize) -> QosState {
+        let mut q = QosState {
+            cfg,
+            max_in_flight,
+            tenants: BTreeMap::new(),
+            total_weight: 0,
+            ring: VecDeque::new(),
+        };
+        let listed: Vec<(String, QosTier)> = q
+            .cfg
+            .tiers
+            .iter()
+            .map(|(t, tier)| (t.clone(), *tier))
+            .collect();
+        for (t, tier) in listed {
+            q.register(&t, tier);
+        }
+        q
+    }
+
+    /// Ensure `tenant` exists; returns its tier.
+    fn register(&mut self, tenant: &str, tier: QosTier) -> QosTier {
+        if let Some(st) = self.tenants.get(tenant) {
+            return st.tier;
+        }
+        self.total_weight += tier.weight();
+        self.tenants
+            .insert(tenant.to_owned(), QosTenantState::new(tier));
+        tier
+    }
+
+    /// The tier `tenant` would get (config lookup; does not register).
+    fn tier_of(&self, tenant: &str) -> QosTier {
+        self.cfg
+            .tiers
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.cfg.default_tier)
+    }
+
+    /// `tenant`'s quota: its weighted share of the admission window,
+    /// never below one slot.
+    fn quota(&self, tier: QosTier) -> usize {
+        let share = (self.max_in_flight as u64) * tier.weight() / self.total_weight.max(1);
+        (share as usize).max(1)
+    }
+
+    /// Is some tenant waiting below its own quota? While true, no tenant
+    /// may be granted (or admitted) above quota — idle capacity is lent
+    /// only when nobody under-quota wants it.
+    fn under_quota_waiting(&self) -> bool {
+        self.ring.iter().any(|t| {
+            let st = &self.tenants[t];
+            !st.queue.is_empty() && st.in_flight < self.quota(st.tier)
+        })
+    }
+
+    /// May a fresh arrival for `tenant` be admitted immediately? Only if
+    /// its own queue is empty (per-tenant FIFO order), it is under quota —
+    /// or borrowing while no under-quota tenant waits.
+    fn may_admit(&self, tenant: &str) -> bool {
+        let st = &self.tenants[tenant];
+        if !st.queue.is_empty() {
+            return false;
+        }
+        let quota = self.quota(st.tier);
+        if st.in_flight < quota {
+            return true;
+        }
+        st.in_flight < quota.saturating_add(self.cfg.borrow) && !self.under_quota_waiting()
+    }
+
+    /// Park a request in its tenant's FIFO (the caller checked the bound).
+    fn enqueue(&mut self, tenant: &str, item: QueuedReq) {
+        let st = self.tenants.get_mut(tenant).expect("tenant registered");
+        st.queue.push_back(item);
+        st.enqueued += 1;
+        if !self.ring.iter().any(|t| t == tenant) {
+            self.ring.push_back(tenant.to_owned());
+        }
+    }
+
+    /// One deficit-round-robin grant: pop the next eligible tenant's
+    /// queue head. Under-quota waiters are always served first; over-quota
+    /// tenants are served (borrowing) only when no under-quota tenant
+    /// waits. `None` when nothing is eligible.
+    fn next_grant(&mut self) -> Option<(String, QosTier, QueuedReq)> {
+        let under_waiting = self.under_quota_waiting();
+        // each ring member is visited at most twice per grant (top-up,
+        // then serve), so 2·len + 1 passes always reach a fixed point
+        for _ in 0..(self.ring.len() * 2 + 1) {
+            let t = self.ring.front()?.clone();
+            let quota;
+            {
+                let st = self.tenants.get_mut(&t).expect("ring member registered");
+                if st.queue.is_empty() {
+                    st.deficit = 0;
+                    self.ring.pop_front();
+                    continue;
+                }
+                quota = {
+                    let tier = st.tier;
+                    let w = tier.weight();
+                    let share = (self.max_in_flight as u64) * w / self.total_weight.max(1);
+                    (share as usize).max(1)
+                };
+                let cap = if under_waiting {
+                    quota
+                } else {
+                    quota.saturating_add(self.cfg.borrow)
+                };
+                if st.in_flight >= cap {
+                    // not eligible this round: rotate past without
+                    // touching its deficit
+                    self.ring.rotate_left(1);
+                    continue;
+                }
+                if st.deficit == 0 {
+                    st.deficit = st.tier.weight();
+                    self.ring.rotate_left(1);
+                    continue;
+                }
+                st.deficit -= 1;
+                let item = st.queue.pop_front().expect("non-empty queue");
+                let tier = st.tier;
+                return Some((t, tier, item));
+            }
+        }
+        None
+    }
+
+    /// Pop every queued request (total-outage flush: nothing can ever be
+    /// granted once the last replica is gone).
+    fn flush_all(&mut self) -> Vec<(String, QueuedReq)> {
+        let mut out = Vec::new();
+        for t in std::mem::take(&mut self.ring) {
+            let st = self.tenants.get_mut(&t).expect("ring member registered");
+            st.deficit = 0;
+            while let Some(item) = st.queue.pop_front() {
+                out.push((t.clone(), item));
+            }
+        }
+        out
+    }
+}
+
 /// Dispatcher parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct DispatcherConfig {
@@ -288,12 +592,26 @@ struct PendingOp {
     started: SimTime,
 }
 
+/// The QoS identity an admitted request carries end-to-end: set once at
+/// admission and never re-derived, so a retried, re-pinned, or
+/// canary-shifted request keeps its tenant and priority tier.
+#[derive(Clone)]
+struct QosTag {
+    tenant: String,
+    tier: QosTier,
+    /// When the request first hit the front door (queue wait included) —
+    /// the per-tenant latency series measures door-to-answer.
+    submitted_at: SimTime,
+}
+
 /// One admitted invocation making its way through attempts.
 struct Ticket {
     req: Request,
     done: Option<Responder>,
     span: SpanId,
     retries: u32,
+    /// Present iff the request was admitted through the QoS stage.
+    qos: Option<QosTag>,
 }
 
 /// One affinity-table entry.
@@ -402,6 +720,10 @@ pub struct Dispatcher {
     /// Optional canary share: a slice of first-sight traffic diverted to
     /// one replica during a canary judgment window.
     canary: RefCell<Option<CanaryShare>>,
+    /// Optional per-tenant QoS stage ([`Dispatcher::set_qos`]). `None` —
+    /// the default — leaves the admission path byte-identical to the
+    /// QoS-less dispatcher.
+    qos: RefCell<Option<QosState>>,
 }
 
 impl Dispatcher {
@@ -422,7 +744,52 @@ impl Dispatcher {
             geo: RefCell::new(None),
             probe_cursor: Cell::new(0),
             canary: RefCell::new(None),
+            qos: RefCell::new(None),
         })
+    }
+
+    /// Turn on the per-tenant QoS stage: invocations carrying a principal
+    /// are admitted against per-tenant quotas, wait in weighted-fair door
+    /// queues when at quota, and shed (with per-tenant accounting) when
+    /// their queue overflows. Attach before traffic; anonymous requests
+    /// and uploads keep the plain global gate.
+    pub fn set_qos(&self, cfg: QosConfig) {
+        *self.qos.borrow_mut() = Some(QosState::new(cfg, self.cfg.max_in_flight));
+    }
+
+    /// Is the per-tenant QoS stage attached?
+    pub fn qos_enabled(&self) -> bool {
+        self.qos.borrow().is_some()
+    }
+
+    /// Per-tenant QoS ledgers and live state (empty map with QoS off).
+    /// Every tenant satisfies `issued == accepted + shed + queued`, and
+    /// an under-quota tenant only ever waits because the global window is
+    /// full (or no replica is left) — the fairness invariant the
+    /// proptests audit mid-run.
+    pub fn qos_tenants(&self) -> BTreeMap<String, TenantQos> {
+        match self.qos.borrow().as_ref() {
+            None => BTreeMap::new(),
+            Some(q) => q
+                .tenants
+                .iter()
+                .map(|(t, st)| {
+                    (
+                        t.clone(),
+                        TenantQos {
+                            tier: st.tier,
+                            quota: q.quota(st.tier),
+                            in_flight: st.in_flight,
+                            queued: st.queue.len(),
+                            issued: st.issued,
+                            accepted: st.accepted,
+                            shed: st.shed,
+                            enqueued: st.enqueued,
+                        },
+                    )
+                })
+                .collect(),
+        }
     }
 
     /// Attach a health plane. From now on every answered (or lost) attempt
@@ -558,6 +925,19 @@ impl Dispatcher {
     pub fn submit(self: &Rc<Self>, sim: &mut Sim, req: Request, done: Responder) {
         let span = sim.span_begin("dispatcher.dispatch");
         sim.span_attr(span, "policy", self.cfg.policy.label());
+        // Per-tenant QoS stage (opt-in): invocations carrying a principal
+        // go through quota + weighted-fair queueing. Anonymous requests
+        // and uploads fall through to the global gate below.
+        if self.qos.borrow().is_some()
+            && matches!(&req, Request::Invoke { principal: Some(_), .. })
+        {
+            self.qos_submit(sim, span, req, done);
+            return;
+        }
+        // The global admission gate. Deliberately ahead of the
+        // invoke/upload split so BOTH arms are behind it: an upload at a
+        // saturated door sheds exactly like an invocation (pinned by the
+        // upload_sheds_at_admission_limit regression test).
         if self.in_flight.get() >= self.cfg.max_in_flight {
             self.shed(sim, span, "admission limit reached", done);
             return;
@@ -565,6 +945,193 @@ impl Dispatcher {
         match req {
             Request::Invoke { .. } => self.dispatch_one(sim, span, req, done),
             Request::Upload { .. } => self.broadcast(sim, span, req, done),
+        }
+    }
+
+    /// Admission with QoS on: admit under quota, queue at quota, shed on
+    /// queue overflow (or when no replica is in rotation — queueing for a
+    /// dead fleet would just strand the caller).
+    fn qos_submit(self: &Rc<Self>, sim: &mut Sim, span: SpanId, req: Request, done: Responder) {
+        let tenant = match &req {
+            Request::Invoke {
+                principal: Some(p), ..
+            } => p.clone(),
+            _ => unreachable!("qos_submit only sees principal-carrying invokes"),
+        };
+        enum Decision {
+            Admit(QosTier),
+            Queue,
+            Shed(&'static str),
+        }
+        let decision = {
+            let mut qos = self.qos.borrow_mut();
+            let q = qos.as_mut().expect("qos checked by caller");
+            let tier = q.tier_of(&tenant);
+            q.register(&tenant, tier);
+            let st = q.tenants.get_mut(&tenant).expect("just registered");
+            st.issued += 1;
+            if self.live_backends() == 0 {
+                st.shed += 1;
+                Decision::Shed("no replicas in rotation")
+            } else if self.in_flight.get() < self.cfg.max_in_flight && q.may_admit(&tenant) {
+                Decision::Admit(tier)
+            } else if q.tenants[&tenant].queue.len() < q.cfg.queue_depth {
+                Decision::Queue
+            } else {
+                let st = q.tenants.get_mut(&tenant).expect("registered");
+                st.shed += 1;
+                Decision::Shed("tenant queue full")
+            }
+        };
+        sim.span_attr(span, "tenant", tenant.clone());
+        match decision {
+            Decision::Admit(tier) => {
+                sim.span_attr(span, "tier", tier.label());
+                let tag = QosTag {
+                    tenant,
+                    tier,
+                    submitted_at: sim.now(),
+                };
+                self.qos_admit(sim, span, req, done, tag);
+            }
+            Decision::Queue => {
+                let tier = {
+                    let mut qos = self.qos.borrow_mut();
+                    let q = qos.as_mut().expect("qos on");
+                    q.enqueue(
+                        &tenant,
+                        QueuedReq {
+                            req,
+                            done,
+                            span,
+                            submitted_at: sim.now(),
+                        },
+                    );
+                    q.tenants[&tenant].tier
+                };
+                sim.span_attr(span, "tier", tier.label());
+                sim.span_attr(span, "qos", "queued");
+                sim.counter_add("dispatcher.qos_enqueued", 1);
+                if let Some(plane) = self.health.borrow().as_ref() {
+                    let depth = self.qos.borrow().as_ref().map_or(0, |q| {
+                        q.tenants.get(&tenant).map_or(0, |st| st.queue.len())
+                    });
+                    plane.record_tenant_queue_depth(sim.now(), &tenant, depth as u64);
+                }
+            }
+            Decision::Shed(why) => {
+                sim.counter_add("dispatcher.qos_shed", 1);
+                if let Some(plane) = self.health.borrow().as_ref() {
+                    plane.record_tenant_shed(sim.now(), &tenant);
+                }
+                self.shed(sim, span, why, done);
+            }
+        }
+    }
+
+    /// Front-door bookkeeping for one QoS admission (fresh or granted
+    /// from a door queue), then the first attempt. The ticket carries the
+    /// tag from here on — retries, re-pins, and canary shifts never
+    /// re-enter admission, so the tenant and tier survive end-to-end.
+    fn qos_admit(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        span: SpanId,
+        req: Request,
+        done: Responder,
+        tag: QosTag,
+    ) {
+        {
+            let mut qos = self.qos.borrow_mut();
+            let q = qos.as_mut().expect("qos on");
+            let st = q.tenants.get_mut(&tag.tenant).expect("tenant registered");
+            st.accepted += 1;
+            st.in_flight += 1;
+        }
+        self.counters.borrow_mut().accepted += 1;
+        self.in_flight.set(self.in_flight.get() + 1);
+        sim.counter_add("dispatcher.accepted", 1);
+        sim.span_attr(span, "in_flight", self.in_flight.get() as u64);
+        if let Some(plane) = self.health.borrow().as_ref() {
+            plane.record_submit(
+                sim.now(),
+                self.in_flight.get() as u64,
+                self.queued_depth() as u64,
+                Some(&tag.tenant),
+            );
+            plane.record_tenant_accepted(sim.now(), &tag.tenant);
+        }
+        self.attempt(
+            sim,
+            Ticket {
+                req,
+                done: Some(done),
+                span,
+                retries: 0,
+                qos: Some(tag),
+            },
+        );
+    }
+
+    /// Capacity freed (any request closed): grant door-queued work by
+    /// deficit round-robin until the window refills or nothing is
+    /// eligible. When the last replica is gone, flush every queue as shed
+    /// — a queued-then-shed request counts exactly once, as shed.
+    fn qos_dispatch_queued(self: &Rc<Self>, sim: &mut Sim) {
+        if self.qos.borrow().is_none() {
+            return;
+        }
+        if self.live_backends() == 0 {
+            let flushed = {
+                let mut qos = self.qos.borrow_mut();
+                let q = qos.as_mut().expect("qos on");
+                let flushed = q.flush_all();
+                for (tenant, _) in &flushed {
+                    let st = q.tenants.get_mut(tenant).expect("registered");
+                    st.shed += 1;
+                }
+                flushed
+            };
+            for (tenant, item) in flushed {
+                sim.counter_add("dispatcher.qos_shed", 1);
+                if let Some(plane) = self.health.borrow().as_ref() {
+                    plane.record_tenant_shed(sim.now(), &tenant);
+                }
+                self.shed(sim, item.span, "no replicas in rotation", item.done);
+            }
+            return;
+        }
+        while self.in_flight.get() < self.cfg.max_in_flight {
+            let grant = {
+                let mut qos = self.qos.borrow_mut();
+                qos.as_mut().expect("qos on").next_grant()
+            };
+            let Some((tenant, tier, item)) = grant else {
+                return;
+            };
+            sim.counter_add("dispatcher.qos_granted", 1);
+            let tag = QosTag {
+                tenant,
+                tier,
+                submitted_at: item.submitted_at,
+            };
+            self.qos_admit(sim, item.span, item.req, item.done, tag);
+        }
+    }
+
+    /// Per-tenant bookkeeping for one closed QoS request.
+    fn qos_close(&self, sim: &mut Sim, tag: &QosTag, ok: bool) {
+        {
+            let mut qos = self.qos.borrow_mut();
+            let q = qos.as_mut().expect("qos on");
+            let st = q.tenants.get_mut(&tag.tenant).expect("tenant registered");
+            st.in_flight = st
+                .in_flight
+                .checked_sub(1)
+                .expect("tenant in-flight underflow: tag lost in transit");
+        }
+        if let Some(plane) = self.health.borrow().as_ref() {
+            plane.record_tenant_latency(sim.now(), &tag.tenant, sim.now() - tag.submitted_at, !ok);
         }
     }
 
@@ -605,6 +1172,7 @@ impl Dispatcher {
                 done: Some(done),
                 span,
                 retries: 0,
+                qos: None,
             },
         );
     }
@@ -692,6 +1260,12 @@ impl Dispatcher {
         let rspan = sim.span_child("dispatcher.retry", ticket.span);
         sim.span_attr(rspan, "replica", lost.to_owned());
         sim.span_attr(rspan, "attempt", ticket.retries as u64);
+        if let Some(tag) = &ticket.qos {
+            // the retry keeps the admission-time identity: it re-routes,
+            // it does not re-queue
+            sim.span_attr(rspan, "tenant", tag.tenant.clone());
+            sim.span_attr(rspan, "tier", tag.tier.label());
+        }
         let delay = rc.backoff(sim, ticket.retries);
         sim.span_attr(rspan, "backoff_ms", delay.as_secs_f64() * 1e3);
         let this = Rc::clone(self);
@@ -704,18 +1278,21 @@ impl Dispatcher {
 
     /// Resolve an admitted invocation exactly once.
     fn settle_ticket(
-        &self,
+        self: &Rc<Self>,
         sim: &mut Sim,
         mut ticket: Ticket,
         res: Result<SoapValue, SoapFault>,
     ) {
+        if let Some(tag) = ticket.qos.take() {
+            self.qos_close(sim, &tag, res.is_ok());
+        }
         self.close_front_door(sim, ticket.span, res.is_ok());
         let done = ticket.done.take().expect("ticket settles once");
         done(sim, res);
     }
 
     /// Resolve an admitted invocation as a dispatcher-level fault.
-    fn fail_ticket(&self, sim: &mut Sim, ticket: Ticket, why: &str) {
+    fn fail_ticket(self: &Rc<Self>, sim: &mut Sim, ticket: Ticket, why: &str) {
         let fault = SoapFault::server(&format!("dispatcher: {why}"));
         self.settle_ticket(sim, ticket, Err(fault));
     }
@@ -1396,7 +1973,7 @@ impl Dispatcher {
     }
 
     /// Front-door bookkeeping for one finished request.
-    fn close_front_door(&self, sim: &mut Sim, span: SpanId, ok: bool) {
+    fn close_front_door(self: &Rc<Self>, sim: &mut Sim, span: SpanId, ok: bool) {
         self.in_flight.set(self.in_flight.get() - 1);
         let mut c = self.counters.borrow_mut();
         if ok {
@@ -1410,6 +1987,8 @@ impl Dispatcher {
             sim.counter_add("dispatcher.faulted", 1);
             sim.span_fail(span, "replica returned a fault");
         }
+        // a slot just opened: let door-queued tenants in (no-op with QoS off)
+        self.qos_dispatch_queued(sim);
     }
 
     /// Drop a drained slot and notify the owner.
@@ -2349,5 +2928,278 @@ mod tests {
         );
         assert_eq!(d.counters().ejected, 1, "silent backend still ejected");
         assert_eq!(west.served.get(), 1);
+    }
+
+    // -- per-tenant QoS -----------------------------------------------------
+
+    fn qos_tiers(pairs: &[(&str, QosTier)]) -> BTreeMap<String, QosTier> {
+        pairs.iter().map(|(t, w)| ((*t).to_owned(), *w)).collect()
+    }
+
+    /// Satellite-1 regression: the global admission gate sits ahead of
+    /// the invoke/upload split, so a saturated door sheds uploads too.
+    /// (Audit note: the gate at the top of `submit` covers both arms;
+    /// `broadcast` has no other caller, so an upload can never reach the
+    /// in_flight/accepted bookkeeping without passing the check.)
+    #[test]
+    fn upload_sheds_at_admission_limit() {
+        let mut sim = Sim::new(60);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            max_in_flight: 2,
+            ..DispatcherConfig::default()
+        });
+        d.add_backend(Echo::new("a", 1000));
+        // fill the window with slow invokes
+        for _ in 0..2 {
+            d.submit(&mut sim, invoke(), Box::new(|_, _| {}));
+        }
+        let upload_shed = Rc::new(Cell::new(false));
+        let s = upload_shed.clone();
+        d.submit(
+            &mut sim,
+            Request::Upload {
+                file_name: "f.exe".into(),
+                len: 64,
+                profile: ExecutionProfile::quick(),
+            },
+            Box::new(move |_, r| s.set(r.is_err())),
+        );
+        sim.run();
+        assert!(upload_shed.get(), "saturated door must shed the upload");
+        let c = d.counters();
+        assert_eq!(c.accepted, 2);
+        assert_eq!(c.shed, 1);
+        assert_eq!(c.completed, 2);
+    }
+
+    /// DRR grants backlogged tenants capacity in 4:2:1 tier-weight
+    /// proportion, FIFO within each tenant.
+    #[test]
+    fn qos_drr_grants_by_tier_weight() {
+        let mut sim = Sim::new(61);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            max_in_flight: 1,
+            ..DispatcherConfig::default()
+        });
+        d.set_qos(QosConfig {
+            tiers: qos_tiers(&[
+                ("gold", QosTier::Gold),
+                ("std", QosTier::Standard),
+                ("batch", QosTier::Batch),
+            ]),
+            ..QosConfig::default()
+        });
+        d.add_backend(Echo::new("a", 10));
+        let order: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut feed = |tenant: &'static str, n: usize| {
+            for _ in 0..n {
+                let o = order.clone();
+                d.submit(
+                    &mut sim,
+                    invoke_as(tenant),
+                    Box::new(move |_, r| {
+                        assert!(r.is_ok());
+                        o.borrow_mut().push(tenant);
+                    }),
+                );
+            }
+        };
+        // first gold request is admitted straight away; the rest queue
+        // in ring order gold, std, batch
+        feed("gold", 5);
+        feed("std", 4);
+        feed("batch", 3);
+        sim.run();
+        let got = order.borrow().clone();
+        assert_eq!(
+            got,
+            vec![
+                "gold", // admitted at the door
+                "gold", "gold", "gold", "gold", // one full deficit round: weight 4
+                "std", "std", // weight 2
+                "batch", // weight 1
+                "std", "std", // gold dry -> leftover backlog drains by weight
+                "batch", "batch",
+            ],
+            "deficit round-robin must follow 4:2:1 tier weights"
+        );
+        let snap = d.qos_tenants();
+        for (t, issued) in [("gold", 5), ("std", 4), ("batch", 3)] {
+            let s = &snap[t];
+            assert_eq!(s.issued, issued);
+            assert_eq!(s.accepted, issued, "{t} all served");
+            assert_eq!(s.shed, 0);
+            assert_eq!(s.queued, 0);
+            assert_eq!(s.in_flight, 0);
+        }
+    }
+
+    /// A tenant's door queue is bounded: overflow sheds with per-tenant
+    /// accounting and `issued == accepted + shed + queued` holds.
+    #[test]
+    fn qos_queue_bound_sheds_per_tenant() {
+        let mut sim = Sim::new(62);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            max_in_flight: 1,
+            ..DispatcherConfig::default()
+        });
+        d.set_qos(QosConfig {
+            queue_depth: 2,
+            ..QosConfig::default()
+        });
+        d.add_backend(Echo::new("a", 50));
+        let shed_seen = Rc::new(Cell::new(0u32));
+        for _ in 0..5 {
+            let s = shed_seen.clone();
+            d.submit(
+                &mut sim,
+                invoke_as("alice"),
+                Box::new(move |_, r| {
+                    if r.is_err() {
+                        s.set(s.get() + 1);
+                    }
+                }),
+            );
+        }
+        // 1 admitted, 2 queued, 2 shed at the bound — check mid-flight
+        {
+            let snap = &d.qos_tenants()["alice"];
+            assert_eq!(snap.issued, 5);
+            assert_eq!(snap.accepted, 1);
+            assert_eq!(snap.queued, 2);
+            assert_eq!(snap.shed, 2);
+            assert_eq!(snap.issued, snap.accepted + snap.shed + snap.queued as u64);
+        }
+        sim.run();
+        let snap = &d.qos_tenants()["alice"];
+        assert_eq!(snap.accepted, 3, "queued requests were granted");
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.queued, 0);
+        assert_eq!(shed_seen.get(), 2);
+    }
+
+    /// Borrow gating on the raw admission state: an idle fleet lets a
+    /// tenant run `borrow` slots past quota, but never while an
+    /// under-quota tenant is waiting.
+    #[test]
+    fn qos_borrow_only_while_no_underquota_tenant_waits() {
+        let cfg = QosConfig {
+            tiers: qos_tiers(&[("a", QosTier::Gold), ("b", QosTier::Gold)]),
+            borrow: 1,
+            ..QosConfig::default()
+        };
+        let mut q = QosState::new(cfg, 8);
+        // two gold tenants: quota = 8 * 4 / 8 = 4 each
+        assert_eq!(q.quota(QosTier::Gold), 4);
+        q.tenants.get_mut("a").unwrap().in_flight = 4;
+        assert!(
+            q.may_admit("a"),
+            "at quota with nobody waiting: borrow slot available"
+        );
+        q.tenants.get_mut("a").unwrap().in_flight = 5;
+        assert!(!q.may_admit("a"), "borrow is bounded to +1");
+        // an under-quota tenant starts waiting: borrowing shuts off
+        q.tenants.get_mut("a").unwrap().in_flight = 4;
+        q.enqueue(
+            "b",
+            QueuedReq {
+                req: Request::Invoke {
+                    service: "svc".into(),
+                    args: Vec::new(),
+                    principal: Some("b".into()),
+                },
+                done: Box::new(|_, _| {}),
+                span: SpanId::NONE,
+                submitted_at: SimTime::ZERO,
+            },
+        );
+        assert!(
+            !q.may_admit("a"),
+            "no borrowing while an under-quota tenant queues"
+        );
+        // ...but a waiting tenant already at its own quota does not
+        // block the borrow
+        q.tenants.get_mut("b").unwrap().in_flight = 4;
+        assert!(q.may_admit("a"), "b is at quota, its backlog is its own");
+        // a tenant with its own backlog must join the queue, not jump it
+        q.tenants.get_mut("a").unwrap().in_flight = 0;
+        q.enqueue(
+            "a",
+            QueuedReq {
+                req: Request::Invoke {
+                    service: "svc".into(),
+                    args: Vec::new(),
+                    principal: Some("a".into()),
+                },
+                done: Box::new(|_, _| {}),
+                span: SpanId::NONE,
+                submitted_at: SimTime::ZERO,
+            },
+        );
+        assert!(!q.may_admit("a"), "FIFO: no admission past a non-empty own queue");
+    }
+
+    /// Losing the last replica flushes door queues as shed — each queued
+    /// request counts exactly once, as shed, and the responder fires.
+    #[test]
+    fn qos_queued_then_shed_counts_once() {
+        let mut sim = Sim::new(63);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            max_in_flight: 1,
+            ..DispatcherConfig::default()
+        });
+        d.set_qos(QosConfig::default());
+        d.add_backend(Echo::new("a", 100));
+        let (oks, errs) = (Rc::new(Cell::new(0u32)), Rc::new(Cell::new(0u32)));
+        for _ in 0..3 {
+            let (o, e) = (oks.clone(), errs.clone());
+            d.submit(
+                &mut sim,
+                invoke_as("alice"),
+                Box::new(move |_, r| match r {
+                    Ok(_) => o.set(o.get() + 1),
+                    Err(_) => e.set(e.get() + 1),
+                }),
+            );
+        }
+        // 1 in flight, 2 queued; drain the only replica out of rotation
+        assert!(d.remove_backend(&mut sim, "a"));
+        sim.run();
+        assert_eq!(oks.get(), 1, "the in-flight request still completes");
+        assert_eq!(errs.get(), 2, "both queued requests shed exactly once");
+        let snap = &d.qos_tenants()["alice"];
+        assert_eq!(snap.issued, 3);
+        assert_eq!(snap.accepted, 1);
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.queued, 0);
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.issued, snap.accepted + snap.shed + snap.queued as u64);
+    }
+
+    /// With QoS on, anonymous invokes and uploads skip the tenant stage
+    /// and use the plain global gate.
+    #[test]
+    fn qos_ignores_anonymous_and_upload_traffic() {
+        let mut sim = Sim::new(64);
+        let d = Dispatcher::new(DispatcherConfig::default());
+        d.set_qos(QosConfig::default());
+        d.add_backend(Echo::new("a", 10));
+        d.submit(&mut sim, invoke(), Box::new(|_, r| assert!(r.is_ok())));
+        d.submit(
+            &mut sim,
+            Request::Upload {
+                file_name: "f.exe".into(),
+                len: 64,
+                profile: ExecutionProfile::quick(),
+            },
+            Box::new(|_, r| assert!(r.is_ok())),
+        );
+        sim.run();
+        assert!(d.qos_tenants().is_empty(), "no tenant state for anonymous work");
+        assert_eq!(d.counters().completed, 2);
     }
 }

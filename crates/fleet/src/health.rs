@@ -22,7 +22,7 @@
 //! median with it and flags nobody; only an *outlier* is a gray failure.
 
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use simkit::{Duration, Sim, SimTime, WindowedRegistry};
@@ -108,6 +108,12 @@ pub struct HealthPlane {
     /// default) leaves the exposition byte-identical to the unversioned
     /// format.
     versions: RefCell<BTreeMap<String, String>>,
+    /// Tenants granted distinct `fleet.tenant.<t>.*` QoS series (capped
+    /// at [`HealthConfig::max_tenants`]; overflow folds into
+    /// `fleet.tenant.other.*`). Only populated when the dispatcher's QoS
+    /// stage is on — QoS-off runs emit no `tenant="..."`-labeled series
+    /// and stay byte-identical.
+    qos_tenants: RefCell<BTreeSet<String>>,
 }
 
 impl HealthPlane {
@@ -122,6 +128,7 @@ impl HealthPlane {
             tenants: Cell::new(0),
             sites: RefCell::new(BTreeMap::new()),
             versions: RefCell::new(BTreeMap::new()),
+            qos_tenants: RefCell::new(BTreeSet::new()),
             cfg,
         })
     }
@@ -243,6 +250,60 @@ impl HealthPlane {
         self.tenants.get()
     }
 
+    /// The series key a QoS tenant writes under: its own name while we
+    /// are under [`HealthConfig::max_tenants`] distinct tenants, `other`
+    /// past the cap.
+    fn qos_key(&self, tenant: &str) -> String {
+        let mut known = self.qos_tenants.borrow_mut();
+        if known.contains(tenant) {
+            tenant.to_owned()
+        } else if known.len() < self.cfg.max_tenants {
+            known.insert(tenant.to_owned());
+            tenant.to_owned()
+        } else {
+            "other".to_owned()
+        }
+    }
+
+    /// One request admitted past the QoS stage for `tenant`.
+    pub fn record_tenant_accepted(&self, now: SimTime, tenant: &str) {
+        let key = self.qos_key(tenant);
+        let mut reg = self.reg.borrow_mut();
+        let id = reg.counter(&format!("fleet.tenant.{key}.accepted"));
+        reg.record(id, now, 1);
+    }
+
+    /// One request shed at the QoS stage (quota + queue full, or no
+    /// replicas) for `tenant`.
+    pub fn record_tenant_shed(&self, now: SimTime, tenant: &str) {
+        let key = self.qos_key(tenant);
+        let mut reg = self.reg.borrow_mut();
+        let id = reg.counter(&format!("fleet.tenant.{key}.shed"));
+        reg.record(id, now, 1);
+    }
+
+    /// `tenant`'s door-queue depth right after one of its requests was
+    /// queued.
+    pub fn record_tenant_queue_depth(&self, now: SimTime, tenant: &str, depth: u64) {
+        let key = self.qos_key(tenant);
+        let mut reg = self.reg.borrow_mut();
+        let id = reg.histogram(&format!("fleet.tenant.{key}.queue_depth"));
+        reg.record(id, now, depth);
+    }
+
+    /// One finished QoS-admitted request for `tenant`: door-to-answer
+    /// latency (including any time spent queued at the door).
+    pub fn record_tenant_latency(&self, now: SimTime, tenant: &str, latency: Duration, error: bool) {
+        let key = self.qos_key(tenant);
+        let mut reg = self.reg.borrow_mut();
+        let id = reg.histogram(&format!("fleet.tenant.{key}.latency_us"));
+        reg.record(id, now, latency.ticks().max(1));
+        if error {
+            let id = reg.counter(&format!("fleet.tenant.{key}.errors"));
+            reg.record(id, now, 1);
+        }
+    }
+
     /// Prometheus text exposition of every series at `now`. Per-replica
     /// series carry a `site` label when the replica was tagged with
     /// [`HealthPlane::set_site`] and a `version` label when tagged with
@@ -252,6 +313,14 @@ impl HealthPlane {
         let sites = self.sites.borrow();
         let versions = self.versions.borrow();
         self.reg.borrow().prometheus_text_multi_labeled(now, |name| {
+            if let Some(rest) = name.strip_prefix("fleet.tenant.") {
+                // suffixes (accepted/shed/queue_depth/latency_us/errors)
+                // carry no dot, so the last dot ends the tenant name
+                let Some((tenant, _)) = rest.rsplit_once('.') else {
+                    return Vec::new();
+                };
+                return vec![("tenant".to_owned(), tenant.to_owned())];
+            }
             let Some(rest) = name.strip_prefix("fleet.replica.") else {
                 return Vec::new();
             };

@@ -68,8 +68,8 @@ pub mod workload;
 pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleAction, ScaleDecision};
 pub use chaos::ChaosMonkey;
 pub use dispatcher::{
-    AffinityConfig, Backend, DispatchCounters, Dispatcher, DispatcherConfig, Policy, Request,
-    Responder, RetryConfig,
+    AffinityConfig, Backend, DispatchCounters, Dispatcher, DispatcherConfig, Policy, QosConfig,
+    QosTier, Request, Responder, RetryConfig, TenantQos,
 };
 pub use fleet::{answer_version, Fleet, FleetSpec, StorageTopology};
 pub use geo::{GeoCounters, GeoPlane, SiteMap, WanLink};

@@ -830,3 +830,131 @@ proptest! {
         prop_assert_eq!(sig2, sig, "replay diverged");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Per-tenant QoS invariants under arbitrary tenant mixes, tier
+    /// assignments, quota knobs, and mid-run replica drains/ejects
+    /// (the drain-window shed case: a request queued at the door and
+    /// then flushed when the last replica leaves must count exactly
+    /// once, as shed):
+    ///
+    /// 1. every tenant's ledger conserves — `issued == accepted + shed`
+    ///    once drained, with `queued` and per-tenant `in_flight` at 0;
+    /// 2. the per-tenant ledgers sum to the global door ledger, and
+    ///    every responder fires exactly once;
+    /// 3. fairness: at no audited instant does a tenant sit queued and
+    ///    under-quota while the admission window has room — an
+    ///    over-quota admission can only have happened when nobody
+    ///    under-quota was waiting.
+    #[test]
+    fn qos_conserves_per_tenant_and_never_starves_underquota_tenants(
+        backends in proptest::collection::vec((1u64..400, any::<bool>()), 1..4),
+        arrivals in proptest::collection::vec((0u64..2_000, 0usize..4), 1..60),
+        tiers in proptest::collection::vec(0usize..3, 4),
+        max_in_flight in 1usize..9,
+        queue_depth in 1usize..6,
+        borrow in 0usize..3,
+        removals in proptest::collection::vec((0u64..2_000, 0usize..4, any::<bool>()), 0..3),
+    ) {
+        use fleet::{QosConfig, QosTier};
+        let mut sim = Sim::new(0x905);
+        let d = Dispatcher::new(DispatcherConfig {
+            policy: Policy::RoundRobin,
+            max_in_flight,
+            ..DispatcherConfig::default()
+        });
+        let tier_of = |i: usize| QosTier::ALL[tiers[i] % QosTier::ALL.len()];
+        d.set_qos(QosConfig {
+            tiers: (0..4).map(|i| (format!("t{i}"), tier_of(i))).collect(),
+            queue_depth,
+            borrow,
+            ..QosConfig::default()
+        });
+        for (i, &(delay_ms, fault)) in backends.iter().enumerate() {
+            d.add_backend(Rc::new(Echo {
+                name: format!("r{i}"),
+                delay: Duration::from_millis(delay_ms),
+                fault,
+            }));
+        }
+        let answered = Rc::new(Cell::new(0u64));
+        let mut issued_by_tenant = HashMap::new();
+        for &(at_ms, tenant_idx) in &arrivals {
+            let tenant = format!("t{tenant_idx}");
+            *issued_by_tenant.entry(tenant.clone()).or_insert(0u64) += 1;
+            let d2 = Rc::clone(&d);
+            let a = Rc::clone(&answered);
+            sim.schedule(Duration::from_millis(at_ms), move |sim| {
+                let fired = Cell::new(false);
+                d2.submit(
+                    sim,
+                    Request::Invoke {
+                        service: "svc".into(),
+                        args: Vec::new(),
+                        principal: Some(tenant),
+                    },
+                    Box::new(move |_, _| {
+                        assert!(!fired.replace(true), "responder fired twice");
+                        a.set(a.get() + 1);
+                    }),
+                );
+            });
+        }
+        // scale-downs and crashes racing the queued traffic
+        for &(at_ms, idx, eject) in &removals {
+            let d2 = Rc::clone(&d);
+            let name = format!("r{}", idx % backends.len());
+            sim.schedule(Duration::from_millis(at_ms), move |sim| {
+                if eject {
+                    let _ = d2.eject_backend(sim, &name);
+                } else {
+                    let _ = d2.remove_backend(sim, &name);
+                }
+            });
+        }
+        // fairness audit on an off-cadence clock across the whole run
+        let violations: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+        for k in 0..30u64 {
+            let d2 = Rc::clone(&d);
+            let v = Rc::clone(&violations);
+            sim.schedule(Duration::from_millis(137 * k), move |_| {
+                let window_full = d2.in_flight() >= max_in_flight;
+                let dead = d2.live_backends() == 0;
+                for (t, s) in d2.qos_tenants() {
+                    if s.queued > 0 && s.in_flight < s.quota && !window_full && !dead {
+                        v.borrow_mut().push(format!(
+                            "{t}: queued {} under quota ({}/{}) with {} door slots free",
+                            s.queued, s.in_flight, s.quota,
+                            max_in_flight - d2.in_flight(),
+                        ));
+                    }
+                }
+            });
+        }
+        sim.run();
+        prop_assert!(violations.borrow().is_empty(), "fairness audit: {:?}", violations.borrow());
+        let total = arrivals.len() as u64;
+        prop_assert_eq!(answered.get(), total, "answered != submitted");
+        let c = d.counters();
+        prop_assert_eq!(c.accepted + c.shed, total, "door ledger");
+        prop_assert_eq!(c.accepted, c.completed + c.faulted, "outcome ledger");
+        prop_assert_eq!(d.in_flight(), 0, "in-flight after drain");
+        let snap = d.qos_tenants();
+        let (mut sum_accepted, mut sum_shed) = (0u64, 0u64);
+        for (t, s) in &snap {
+            let issued = issued_by_tenant.get(t).copied().unwrap_or(0);
+            prop_assert_eq!(s.issued, issued, "{}: issued ledger", t);
+            prop_assert_eq!(s.queued, 0, "{}: queue drained", t);
+            prop_assert_eq!(s.in_flight, 0, "{}: per-tenant in-flight", t);
+            prop_assert_eq!(
+                s.accepted + s.shed, s.issued,
+                "{}: queued-then-shed must count exactly once", t
+            );
+            sum_accepted += s.accepted;
+            sum_shed += s.shed;
+        }
+        prop_assert_eq!(sum_accepted, c.accepted, "tenant slices sum to the door ledger");
+        prop_assert_eq!(sum_shed, c.shed, "tenant shed slices sum to the door ledger");
+    }
+}

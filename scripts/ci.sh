@@ -20,8 +20,8 @@ echo "==> cargo test -q (with test-count floor)"
 cargo test -q --workspace 2>&1 | tee target/test-output.log
 total_passed=$(grep -Eo '[0-9]+ passed' target/test-output.log | awk '{s+=$1} END {print s}')
 echo "    total tests passed: ${total_passed}"
-if [ "${total_passed}" -lt 550 ]; then
-  echo "test-count floor: expected >= 550 passing tests, got ${total_passed}" >&2
+if [ "${total_passed}" -lt 575 ]; then
+  echo "test-count floor: expected >= 575 passing tests, got ${total_passed}" >&2
   exit 1
 fi
 
@@ -89,5 +89,18 @@ cp target/experiments/rollout.prom target/experiments/rollout-run1.prom
 cargo run --release -q -p onserve-bench --bin rollout > /dev/null
 cmp target/experiments/rollout-run1.csv target/experiments/rollout.csv
 cmp target/experiments/rollout-run1.prom target/experiments/rollout.prom
+
+echo "==> qos tier (golden + tier-survival suite + fairness proptest)"
+cargo test -q -p onserve-bench --test golden_determinism noisyneighbor_sweep_matches_golden
+cargo test -q -p onserve-fleet --test qos
+cargo test -q -p onserve-fleet --test proptests qos_conserves_per_tenant_and_never_starves_underquota_tenants
+
+echo "==> noisyneighbor bench determinism (two same-seed runs, byte-identical CSV + exposition)"
+cargo run --release -q -p onserve-bench --bin noisyneighbor > /dev/null
+cp target/experiments/noisyneighbor.csv target/experiments/noisyneighbor-run1.csv
+cp target/experiments/noisyneighbor.prom target/experiments/noisyneighbor-run1.prom
+cargo run --release -q -p onserve-bench --bin noisyneighbor > /dev/null
+cmp target/experiments/noisyneighbor-run1.csv target/experiments/noisyneighbor.csv
+cmp target/experiments/noisyneighbor-run1.prom target/experiments/noisyneighbor.prom
 
 echo "CI OK"
